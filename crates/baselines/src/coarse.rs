@@ -1,0 +1,121 @@
+//! The naive reference point: one reader-writer lock around a `BTreeMap`.
+//!
+//! Not part of the paper's evaluation, but the baseline any prospective
+//! user starts from — included in the registry (as `coarse_btreemap`) so
+//! benches can show where the concurrent structures pay off.
+
+use instrument::ThreadCtx;
+use parking_lot::RwLock;
+use skipgraph::{ConcurrentMap, MapHandle};
+use std::collections::BTreeMap;
+
+/// A coarse-grained `RwLock<BTreeMap>` map.
+pub struct CoarseLockMap<K, V> {
+    inner: RwLock<BTreeMap<K, V>>,
+}
+
+impl<K: Ord, V> CoarseLockMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Live keys in ascending order.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+impl<K: Ord, V> Default for CoarseLockMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread handle to a [`CoarseLockMap`].
+pub struct CoarseHandle<'m, K, V> {
+    map: &'m CoarseLockMap<K, V>,
+    ctx: ThreadCtx,
+}
+
+impl<K, V> ConcurrentMap<K, V> for CoarseLockMap<K, V>
+where
+    K: Ord + Send + Sync,
+    V: Send + Sync,
+{
+    type Handle<'a>
+        = CoarseHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn pin(&self, ctx: ThreadCtx) -> Self::Handle<'_> {
+        CoarseHandle { map: self, ctx }
+    }
+}
+
+impl<'m, K: Ord, V> MapHandle<K, V> for CoarseHandle<'m, K, V> {
+    fn insert(&mut self, key: K, value: V) -> bool {
+        self.ctx.record_op();
+        let mut guard = self.map.inner.write();
+        match guard.entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        self.ctx.record_op();
+        self.map.inner.write().remove(key).is_some()
+    }
+
+    fn contains(&mut self, key: &K) -> bool {
+        self.ctx.record_op();
+        self.map.inner.read().contains_key(key)
+    }
+
+    fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let m: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+        let mut h = m.pin(ThreadCtx::plain(0));
+        assert!(h.insert(1, 1));
+        assert!(!h.insert(1, 2));
+        assert!(h.contains(&1));
+        assert!(h.remove(&1));
+        assert!(!h.remove(&1));
+        assert_eq!(m.keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn concurrent_disjoint() {
+        let m: CoarseLockMap<u64, u64> = CoarseLockMap::new();
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let m = &m;
+                s.spawn(move || {
+                    let mut h = m.pin(ThreadCtx::plain(t));
+                    for i in 0..200u64 {
+                        assert!(h.insert(i * 4 + t as u64, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.keys().len(), 800);
+    }
+}

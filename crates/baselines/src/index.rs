@@ -1,0 +1,168 @@
+//! A rebuildable, array-based index over the data layer.
+//!
+//! Index-based skip lists (Rotating, NUMASK) replace per-node towers with
+//! index structures maintained off the critical path. [`VecIndex`] is the
+//! array flavour: each level is a sorted vector of `(key, data-node)`
+//! samples, every level sampling half of the one below — searches descend
+//! with binary searches and finish on the data list. A maintenance thread
+//! periodically rebuilds it from the live nodes ([`VecIndex::build`]) and
+//! publishes it atomically behind an `ArcSwap`-style cell
+//! ([`IndexCell`]).
+
+use crate::datalist::DataPtr;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A sorted multi-level sample of the data list.
+pub(crate) struct VecIndex<K, V> {
+    /// `levels[0]` is the densest sample; each subsequent level halves.
+    levels: Vec<Vec<(K, DataPtr<K, V>)>>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for VecIndex<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for VecIndex<K, V> {}
+
+impl<K: Ord + Clone, V> VecIndex<K, V> {
+    /// An empty index (searches fall back to the list head).
+    pub(crate) fn empty() -> Self {
+        Self { levels: Vec::new() }
+    }
+
+    /// Builds an index from the live nodes (ascending key order), sampling
+    /// every `fanout`-th node per level.
+    ///
+    /// # Safety contract
+    ///
+    /// The caller guarantees the pointers stay dereferenceable for the
+    /// index lifetime (arena allocation provides this).
+    pub(crate) fn build(live: &[DataPtr<K, V>], fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let mut levels = Vec::new();
+        let mut current: Vec<(K, DataPtr<K, V>)> = live
+            .iter()
+            .step_by(fanout)
+            .map(|&p| (unsafe { (*p).key() }.clone(), p))
+            .collect();
+        while !current.is_empty() {
+            let next: Vec<(K, DataPtr<K, V>)> = current.iter().step_by(fanout).cloned().collect();
+            levels.push(current);
+            if next.len() <= 1 {
+                break;
+            }
+            current = next;
+        }
+        Self { levels }
+    }
+
+    /// The rightmost sampled node with key `< key`, to be used as a search
+    /// start in the data list. `None` means "start from the head".
+    ///
+    /// Sampled nodes may have been logically deleted since the index was
+    /// built; deleted nodes remain linked (physical removal is deferred to
+    /// the maintenance sweep, which runs before index rebuilds), so they
+    /// are still valid traversal entry points.
+    pub(crate) fn locate(&self, key: &K) -> Option<DataPtr<K, V>> {
+        let level = self.levels.first()?;
+        let idx = level.partition_point(|(k, _)| k < key);
+        if idx == 0 {
+            None
+        } else {
+            Some(level[idx - 1].1)
+        }
+    }
+
+    /// Number of levels (diagnostics).
+    pub(crate) fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Entries in the densest level (diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.levels.first().map_or(0, |l| l.len())
+    }
+}
+
+/// An atomically replaceable shared index (reader-writer cell; readers
+/// clone an `Arc` under a short read lock).
+pub(crate) struct IndexCell<K, V> {
+    cell: RwLock<Arc<VecIndex<K, V>>>,
+}
+
+impl<K: Ord + Clone, V> IndexCell<K, V> {
+    pub(crate) fn new() -> Self {
+        Self {
+            cell: RwLock::new(Arc::new(VecIndex::empty())),
+        }
+    }
+
+    pub(crate) fn load(&self) -> Arc<VecIndex<K, V>> {
+        self.cell.read().clone()
+    }
+
+    pub(crate) fn publish(&self, index: VecIndex<K, V>) {
+        *self.cell.write() = Arc::new(index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalist::DataList;
+    use instrument::ThreadCtx;
+
+    #[test]
+    fn empty_index_locates_nothing() {
+        let idx: VecIndex<u64, u64> = VecIndex::empty();
+        assert_eq!(idx.locate(&5), None);
+        assert_eq!(idx.height(), 0);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn build_and_locate() {
+        let list: DataList<u64, u64> = DataList::new(1, 512, true);
+        let ctx = ThreadCtx::plain(0);
+        for k in 0..100u64 {
+            list.insert_from(k * 10, k, list.head(), &ctx);
+        }
+        let live = list.live_nodes(&ctx);
+        let idx = VecIndex::build(&live, 4);
+        assert!(idx.height() >= 2);
+        // locate returns a strict predecessor.
+        let hit = idx.locate(&501).expect("index hit");
+        let hit_key = unsafe { *(*hit).key() };
+        assert!(hit_key < 501);
+        assert!(hit_key >= 400, "sampled every 4th of 10-spaced keys");
+        // Keys below the first sample fall back to the head.
+        assert_eq!(idx.locate(&0), None);
+    }
+
+    #[test]
+    fn locate_is_strict_predecessor() {
+        let list: DataList<u64, u64> = DataList::new(1, 512, true);
+        let ctx = ThreadCtx::plain(0);
+        for k in 1..=32u64 {
+            list.insert_from(k, k, list.head(), &ctx);
+        }
+        let live = list.live_nodes(&ctx);
+        let idx = VecIndex::build(&live, 2);
+        for key in 1..=32u64 {
+            if let Some(p) = idx.locate(&key) {
+                assert!(unsafe { *(*p).key() } < key, "strictness at {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_cell_swap() {
+        let list: DataList<u64, u64> = DataList::new(1, 512, true);
+        let ctx = ThreadCtx::plain(0);
+        for k in 0..10u64 {
+            list.insert_from(k, k, list.head(), &ctx);
+        }
+        let cell: IndexCell<u64, u64> = IndexCell::new();
+        assert_eq!(cell.load().len(), 0);
+        cell.publish(VecIndex::build(&list.live_nodes(&ctx), 2));
+        assert_eq!(cell.load().len(), 5);
+    }
+}

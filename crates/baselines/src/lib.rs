@@ -1,0 +1,44 @@
+//! Competitor and ablation structures for the layered-skip-graph
+//! reproduction.
+//!
+//! The paper's evaluation (Sec. 5) compares the layered structures against:
+//!
+//! * a **lock-free skip list** including the relink optimization — the
+//!   "skip list" of Table 1 and Fig. 9 ([`LockFreeSkipList`]);
+//! * a **locked skip list** — the optimistic lazy lock-based design
+//!   ([`LockedSkipList`]);
+//! * a **non-layered skip graph** — provided by
+//!   [`skipgraph::SkipGraph`]'s direct `ConcurrentMap` implementation;
+//! * layered maps over a **linked list** / a **single skip list** —
+//!   provided by [`skipgraph::GraphConfig::linked_list`] /
+//!   [`skipgraph::GraphConfig::single_skip_list`];
+//! * three state-of-the-art designs from the literature, reimplemented
+//!   around their defining mechanisms (see each module's docs for the
+//!   fidelity notes): **No Hotspot** [Crain et al. 2013]
+//!   ([`NoHotspotSkipList`]), the **Rotating** skip list
+//!   [Dick et al. 2017] ([`RotatingSkipList`]), and **NUMASK**
+//!   [Daly et al. 2018] ([`NumaskSkipList`]).
+//!
+//! All structures implement [`skipgraph::ConcurrentMap`], are instrumented
+//! with the same [`instrument::ThreadCtx`] recording as the layered
+//! structures (required for the heatmap/Table-1 comparisons), and allocate
+//! nodes from per-thread NUMA-tagged arenas.
+
+mod coarse;
+pub mod datalist;
+mod harris;
+mod index;
+mod locked_skiplist;
+mod maintenance;
+mod nohotspot;
+mod numask;
+mod rotating;
+mod skiplist;
+
+pub use coarse::CoarseLockMap;
+pub use harris::HarrisList;
+pub use locked_skiplist::LockedSkipList;
+pub use nohotspot::NoHotspotSkipList;
+pub use numask::NumaskSkipList;
+pub use rotating::RotatingSkipList;
+pub use skiplist::{LockFreeSkipList, SkipListConfig};

@@ -1,0 +1,80 @@
+//! Background maintenance threads.
+//!
+//! The No-Hotspot, Rotating, and NUMASK designs all move structural work
+//! (physical removal, index adaptation) off the critical path into
+//! dedicated threads. [`MaintenanceThread`] runs a closure at a fixed
+//! period until dropped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A periodic background worker, stopped and joined on drop.
+pub(crate) struct MaintenanceThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceThread {
+    /// Spawns a worker running `tick` every `period` until the structure
+    /// drops. The closure must not panic (a panic is contained to the
+    /// maintenance thread; the structure degrades to unmaintained).
+    pub(crate) fn spawn<F>(period: Duration, mut tick: F) -> Self
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sg-maintenance".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    tick();
+                    // Sleep in small slices so drop() never waits long.
+                    let mut remaining = period;
+                    while !remaining.is_zero() && !stop2.load(Ordering::Acquire) {
+                        let slice = remaining.min(Duration::from_millis(2));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn maintenance thread");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MaintenanceThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn ticks_and_stops_on_drop() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        let mt = MaintenanceThread::spawn(Duration::from_millis(1), move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        while count.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        drop(mt); // must join promptly
+        let after = count.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(count.load(Ordering::SeqCst), after, "no ticks after drop");
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation — the commission-period "sweet spot" the paper leaves as
+//! future work: sweeps the lazy layered skip graph's commission factor on
+//! HC-WH and LC-WH.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::commission_sweep(&Scale::from_env());
+}

@@ -1,0 +1,9 @@
+//! Ablations of two design choices: the relink (chain-CAS) optimization on
+//! the lock-free skip list, and the membership-vector strategy of the
+//! layered skip graph (NUMA-aware vs thread-id suffix vs single list).
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::relink_membership_ablation(&Scale::from_env());
+}

@@ -1,0 +1,8 @@
+//! The paper's qualitative claim — larger NUMA distance, larger reduction
+//! in remote accesses — quantified on a modeled 4-node machine.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::distance_reduction(&Scale::from_env());
+}

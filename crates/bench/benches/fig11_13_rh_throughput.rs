@@ -1,0 +1,14 @@
+//! Figures 11, 12, 13 — read-heavy (20% requested updates) throughput
+//! across thread counts, HC/MC/LC. Same procedure as Figs. 2–4.
+
+use bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    figures::throughput(
+        &scale,
+        &["hc-rh", "mc-rh", "lc-rh"],
+        figures::default_structures(),
+        "fig11_13_rh_throughput.csv",
+    );
+}

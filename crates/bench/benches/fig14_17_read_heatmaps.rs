@@ -1,0 +1,9 @@
+//! Figures 14–17 — read heatmaps: cell (i, j) is the number of shared-node
+//! reads performed by thread i on nodes allocated by thread j, MC
+//! write-heavy (analogous to the CAS heatmaps of Figs. 6–9).
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::heatmaps(&Scale::from_env(), "read");
+}

@@ -1,0 +1,17 @@
+//! Figures 2, 3, 4 — write-heavy throughput (total ops/ms) across thread
+//! counts for every structure, in the HC (2^8), MC (2^14) and LC (2^17)
+//! key spaces. Prints one CSV row per (scenario, structure, threads) with
+//! the mean over the averaged runs and the achieved effective-update
+//! percentage (paper: 32% / 32% / 4% for HC/MC/LC write-heavy).
+
+use bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    figures::throughput(
+        &scale,
+        &["hc-wh", "mc-wh", "lc-wh"],
+        figures::default_structures(),
+        "fig2_4_wh_throughput.csv",
+    );
+}

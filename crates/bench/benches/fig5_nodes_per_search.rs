@@ -1,0 +1,10 @@
+//! Figure 5 — average shared nodes traversed per search, MC write-heavy.
+//! The paper shows the layered approaches traverse fewer shared nodes than
+//! the skip list / non-layered skip graph, and that the lazy version does
+//! not traverse more than the non-lazy ones.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::nodes_per_search(&Scale::from_env());
+}

@@ -1,0 +1,11 @@
+//! Figures 6–9 — CAS heatmaps: cell (i, j) is the absolute number of
+//! maintenance CAS operations performed by thread i on nodes allocated by
+//! thread j, MC write-heavy. Accesses to a thread's own in-flight node are
+//! excluded and head accesses are attributed to thread 0, as in the paper.
+//! Full matrices are written to `results/`.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::heatmaps(&Scale::from_env(), "cas");
+}

@@ -1,0 +1,8 @@
+//! Extension — per-operation latency distributions (p50/p90/p99/p999 in
+//! cycles) on the MC write-heavy workload, per structure and op class.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::latency(&Scale::from_env());
+}

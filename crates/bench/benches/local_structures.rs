@@ -1,0 +1,9 @@
+//! Local-structure experiments: sparse-vs-dense local sizes (the paper's
+//! "local structures become more sparse" claim) and the pluggable local
+//! map ablation (BTree vs sorted vector).
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::local_structures(&Scale::from_env());
+}

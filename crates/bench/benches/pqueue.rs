@@ -1,0 +1,119 @@
+//! Appendix experiment — preliminary priority-queue results.
+//!
+//! The paper names both exact and relaxed priority queues as applications
+//! of the layering technique. This target measures push/pop-min throughput
+//! of the layered priority queue (exact and spray-relaxed) against a
+//! global-lock binary heap.
+
+use bench::{write_result, Scale};
+use instrument::ThreadCtx;
+use parking_lot::Mutex;
+use sg_pqueue::LayeredPriorityQueue;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+fn run_layered(threads: usize, scale: &Scale, spray: Option<usize>) -> f64 {
+    let pq: LayeredPriorityQueue<u64, u64> = LayeredPriorityQueue::new(threads);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let next_key = AtomicU64::new(0);
+    let total = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads as u16)
+            .map(|t| {
+                let pq = &pq;
+                let stop = &stop;
+                let barrier = &barrier;
+                let next_key = &next_key;
+                s.spawn(move || {
+                    let mut h = pq.register(ThreadCtx::plain(t));
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..16 {
+                            let k = next_key.fetch_add(1, Ordering::Relaxed);
+                            h.push(k, k);
+                            match spray {
+                                Some(width) => {
+                                    let _ = h.pop_approx_min(width);
+                                }
+                                None => {
+                                    let _ = h.pop_min();
+                                }
+                            }
+                            ops += 2;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        while t0.elapsed() < scale.duration {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().unwrap()).sum::<u64>()
+    });
+    total as f64 / scale.duration.as_secs_f64() / 1000.0
+}
+
+fn run_locked_heap(threads: usize, scale: &Scale) -> f64 {
+    let heap: Mutex<BinaryHeap<std::cmp::Reverse<u64>>> = Mutex::new(BinaryHeap::new());
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let next_key = AtomicU64::new(0);
+    let total = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let heap = &heap;
+                let stop = &stop;
+                let barrier = &barrier;
+                let next_key = &next_key;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..16 {
+                            let k = next_key.fetch_add(1, Ordering::Relaxed);
+                            heap.lock().push(std::cmp::Reverse(k));
+                            let _ = heap.lock().pop();
+                            ops += 2;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        while t0.elapsed() < scale.duration {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().unwrap()).sum::<u64>()
+    });
+    total as f64 / scale.duration.as_secs_f64() / 1000.0
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Appendix — priority queue push/pop-min throughput (ops/ms)");
+    println!("structure,threads,ops_per_ms");
+    let mut csv = String::from("structure,threads,ops_per_ms\n");
+    for &threads in &scale.threads {
+        for (name, result) in [
+            ("layered_pq_exact", run_layered(threads, &scale, None)),
+            ("layered_pq_spray8", run_layered(threads, &scale, Some(8))),
+            ("locked_binary_heap", run_locked_heap(threads, &scale)),
+        ] {
+            let row = format!("{name},{threads},{result:.1}");
+            println!("{row}");
+            csv.push_str(&row);
+            csv.push('\n');
+        }
+    }
+    write_result("pqueue_throughput.csv", &csv);
+}

@@ -1,0 +1,10 @@
+//! Table 2 — average cache misses per operation, HC write-heavy. PAPI is
+//! substituted by the `cache-sim` trace-driven hierarchy (see DESIGN.md
+//! §5): same ordering across structures, lower absolute numbers (no
+//! instruction misses).
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::table2(&Scale::from_env());
+}

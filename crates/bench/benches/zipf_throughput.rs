@@ -1,0 +1,8 @@
+//! Extension — skew sensitivity: MC-WH throughput under Zipfian key
+//! selection, per structure.
+
+use bench::{figures, Scale};
+
+fn main() {
+    figures::zipf_throughput(&Scale::from_env());
+}

@@ -1,0 +1,22 @@
+//! Paper-scale commission-period sweep:
+//! `commission_sweep [--threads N] [--duration-ms N] [--runs N]`.
+
+use bench::{figures, Scale};
+use std::time::Duration;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().expect("flag value");
+        match flag.as_str() {
+            "--threads" => scale.threads = vec![value.parse().expect("threads")],
+            "--duration-ms" => {
+                scale.duration = Duration::from_millis(value.parse().expect("millis"))
+            }
+            "--runs" => scale.runs = value.parse().expect("runs"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    figures::commission_sweep(&scale);
+}

@@ -1,0 +1,23 @@
+//! Paper-scale heatmaps (Figs. 6–9 / 14–17):
+//! `heatmaps [--kind cas|read] [--threads N] [--duration-ms N]`.
+
+use bench::{figures, Scale};
+use std::time::Duration;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut kind = "cas".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().expect("flag value");
+        match flag.as_str() {
+            "--kind" => kind = value,
+            "--threads" => scale.instr_threads = value.parse().expect("threads"),
+            "--duration-ms" => {
+                scale.duration = Duration::from_millis(value.parse().expect("millis"))
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    figures::heatmaps(&scale, &kind);
+}

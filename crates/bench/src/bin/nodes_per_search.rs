@@ -1,0 +1,25 @@
+//! Paper-scale Fig. 5: `nodes_per_search [--threads 2,4,...] [--duration-ms N]`.
+
+use bench::{figures, Scale};
+use std::time::Duration;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().expect("flag value");
+        match flag.as_str() {
+            "--threads" => {
+                scale.threads = value
+                    .split(',')
+                    .map(|t| t.parse().expect("thread count"))
+                    .collect()
+            }
+            "--duration-ms" => {
+                scale.duration = Duration::from_millis(value.parse().expect("millis"))
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    figures::nodes_per_search(&scale);
+}

@@ -1,0 +1,20 @@
+//! Paper-scale Table 1: `table1_metrics [--threads N] [--duration-ms N]`.
+
+use bench::{figures, Scale};
+use std::time::Duration;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().expect("flag value");
+        match flag.as_str() {
+            "--threads" => scale.instr_threads = value.parse().expect("threads"),
+            "--duration-ms" => {
+                scale.duration = Duration::from_millis(value.parse().expect("millis"))
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let _ = figures::table1(&scale);
+}

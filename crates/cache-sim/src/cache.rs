@@ -1,0 +1,235 @@
+//! A single set-associative, LRU-replacement cache level.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Cache line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry, rounded down to at least 1.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.associativity * self.line_bytes)).max(1)
+    }
+}
+
+/// One set-associative cache with true-LRU replacement.
+///
+/// Tags are full line addresses, so the simulation is exact for the given
+/// geometry. Writes are modeled as write-allocate (a write miss fills the
+/// line, like the write-back L1/L2 of the modeled Xeon).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    line_shift: u32,
+    set_mask: u64,
+    /// `sets * associativity` tags; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, if `associativity` is
+    /// zero, or if the implied set count is not a power of two.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(geometry.line_bytes.is_power_of_two(), "line size");
+        assert!(geometry.associativity > 0, "associativity");
+        let sets = geometry.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            geometry,
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            tags: vec![u64::MAX; sets * geometry.associativity],
+            stamps: vec![0; sets * geometry.associativity],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Simulates an access to `addr`. Returns `true` on hit. On a miss the
+    /// line is filled, evicting the LRU way of its set.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geometry.associativity;
+        let base = set * ways;
+        let slots = &mut self.tags[base..base + ways];
+        if let Some(w) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: evict LRU (or fill an invalid way).
+        let victim = (0..ways)
+            .min_by_key(|&w| {
+                if self.tags[base + w] == u64::MAX {
+                    0
+                } else {
+                    self.stamps[base + w] + 1
+                }
+            })
+            .expect("associativity > 0");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        self.misses += 1;
+        false
+    }
+
+    /// Checks whether `addr` is resident without touching LRU state or
+    /// counters.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.geometry.associativity;
+        self.tags[base..base + self.geometry.associativity].contains(&line)
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resets counters and contents.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheGeometry {
+            size_bytes: 512,
+            associativity: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 256).
+        let (a, b, d) = (0x000, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_after_warmup() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..8).map(|i| i * 64).collect(); // exactly fills
+        for &l in &lines {
+            c.access(l);
+        }
+        let misses_before = c.misses();
+        for _ in 0..10 {
+            for &l in &lines {
+                assert!(c.access(l));
+            }
+        }
+        assert_eq!(c.misses(), misses_before);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_line_panics() {
+        let _ = Cache::new(CacheGeometry {
+            size_bytes: 512,
+            associativity: 2,
+            line_bytes: 48,
+        });
+    }
+
+    proptest! {
+        /// Inclusion-of-recent-accesses: the most recently accessed line is
+        /// always resident.
+        #[test]
+        fn mru_line_always_resident(addrs in proptest::collection::vec(0u64..1 << 20, 1..500)) {
+            let mut c = tiny();
+            for &a in &addrs {
+                c.access(a);
+                prop_assert!(c.probe(a));
+            }
+        }
+
+        /// hits + misses == accesses.
+        #[test]
+        fn counters_add_up(addrs in proptest::collection::vec(0u64..1 << 16, 0..300)) {
+            let mut c = tiny();
+            for &a in &addrs {
+                c.access(a);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        }
+
+        /// A direct repeat of any access is a hit.
+        #[test]
+        fn immediate_repeat_hits(addrs in proptest::collection::vec(0u64..1 << 20, 1..200)) {
+            let mut c = tiny();
+            for &a in &addrs {
+                c.access(a);
+                prop_assert!(c.access(a));
+            }
+        }
+    }
+}

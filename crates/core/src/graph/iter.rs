@@ -1,0 +1,57 @@
+//! Bottom-level snapshot iteration.
+
+use super::{NodePtr, SkipGraph};
+use instrument::ThreadCtx;
+
+/// An iterator over the live `(key, value)` pairs of the bottom list.
+///
+/// The iteration is a *weak snapshot*: it observes each node's liveness at
+/// the moment it passes it, which is the usual guarantee for lock-free list
+/// traversal (concurrent updates may or may not be observed). Created by
+/// [`SkipGraph::iter_snapshot`].
+pub struct SnapshotIter<'g, K, V> {
+    graph: &'g SkipGraph<K, V>,
+    ctx: &'g ThreadCtx,
+    cur: NodePtr<K, V>,
+}
+
+impl<K: Ord, V> SkipGraph<K, V> {
+    /// Iterates over live pairs in ascending key order.
+    pub fn iter_snapshot<'g>(&'g self, ctx: &'g ThreadCtx) -> SnapshotIter<'g, K, V> {
+        SnapshotIter {
+            graph: self,
+            ctx,
+            cur: self.head(0, 0),
+        }
+    }
+
+    /// Collects the live keys in ascending order (diagnostic/test helper).
+    pub fn keys(&self, ctx: &ThreadCtx) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.iter_snapshot(ctx).map(|(k, _)| k.clone()).collect()
+    }
+}
+
+impl<'g, K: Ord, V> Iterator for SnapshotIter<'g, K, V> {
+    type Item = (&'g K, &'g V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let lazy = self.graph.config().lazy;
+        loop {
+            let w = unsafe { &*self.cur }.load_next(0, self.ctx);
+            let next = w.ptr();
+            let node = unsafe { &*next };
+            if node.is_tail() {
+                return None;
+            }
+            self.cur = next;
+            let w0 = node.load_next(0, self.ctx);
+            let live = !w0.marked() && (!lazy || w0.valid());
+            if live {
+                return Some(unsafe { (node.key(), node.value()) });
+            }
+        }
+    }
+}

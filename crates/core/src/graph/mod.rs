@@ -1,0 +1,437 @@
+//! The shared structure: a lock-free skip graph constrained in height with
+//! a NUMA-aware data partitioning scheme.
+//!
+//! A skip graph is a collection of linked lists: level 0 holds every node
+//! (the list "λ"), and each level-`i` list is partitioned into two
+//! level-`i+1` lists selected by membership-vector suffixes, so the graph
+//! contains `2^i` lists at level `i` and can be viewed as `2^MaxLevel` skip
+//! lists sharing their bottom levels. Every search is a skip list search
+//! and can start from *any* node's top level.
+//!
+//! This module implements the structure, the two search procedures of the
+//! paper (`lazyRelinkSearch`, Alg. 5, and `retireSearch`, Alg. 8), the
+//! relink optimization (a single CAS replaces a whole chain of marked
+//! references), and composite insert/remove/contains operations used when
+//! the graph is operated without the thread-local layer.
+
+mod iter;
+mod ops;
+mod range;
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use iter::SnapshotIter;
+pub use range::{NodeRefHint, RangeIter};
+pub use stats::StructureStats;
+
+use crate::mvec::{list_suffix, membership_vectors};
+use crate::node::{Node, MAX_HEIGHT};
+use crate::params::GraphConfig;
+use crate::sync::TagPtr;
+use instrument::time::cycles;
+use instrument::ThreadCtx;
+use numa::arena::Arena;
+use std::cmp::Ordering as CmpOrdering;
+use std::ptr::NonNull;
+
+pub(crate) type NodePtr<K, V> = *mut Node<K, V>;
+
+/// An opaque reference to a shared node, as stored by the thread-local
+/// structures. Valid for as long as the owning [`SkipGraph`] is alive
+/// (nodes are arena-allocated and never freed mid-run).
+pub struct NodeRef<K, V>(pub(crate) NonNull<Node<K, V>>);
+
+impl<K, V> Clone for NodeRef<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for NodeRef<K, V> {}
+impl<K, V> PartialEq for NodeRef<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<K, V> Eq for NodeRef<K, V> {}
+impl<K, V> std::fmt::Debug for NodeRef<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeRef({:p})", self.0)
+    }
+}
+
+/// Result of a search: per-level predecessors, the captured predecessor
+/// references (`middle`), and successors, as in Alg. 5.
+pub(crate) struct SearchResult<K, V> {
+    pub preds: [NodePtr<K, V>; MAX_HEIGHT],
+    pub middles: [TagPtr<Node<K, V>>; MAX_HEIGHT],
+    pub succs: [NodePtr<K, V>; MAX_HEIGHT],
+    /// `succs[0]` is an unmarked data node with the goal key.
+    pub found: bool,
+}
+
+impl<K, V> SearchResult<K, V> {
+    fn empty() -> Self {
+        Self {
+            preds: [std::ptr::null_mut(); MAX_HEIGHT],
+            middles: [TagPtr::null(); MAX_HEIGHT],
+            succs: [std::ptr::null_mut(); MAX_HEIGHT],
+            found: false,
+        }
+    }
+}
+
+/// The lock-free skip graph shared structure.
+///
+/// All operations take an [`instrument::ThreadCtx`] identifying the calling
+/// thread (dense id in `0..config.num_threads`); the thread's membership
+/// vector — its associated skip list — is derived from the configured
+/// [`crate::MembershipStrategy`].
+///
+/// Nodes are allocated from per-thread NUMA-tagged arenas and reclaimed
+/// when the graph is dropped (see the crate docs for why).
+pub struct SkipGraph<K, V> {
+    config: GraphConfig,
+    membership: Box<[u32]>,
+    /// Head sentinel of every list, indexed by `head_index(level, suffix)`.
+    heads: Box<[NodePtr<K, V>]>,
+    /// Per-thread data-node arenas (index = thread id).
+    arenas: Box<[Arena<Node<K, V>>]>,
+    /// Sentinel arena (owner tag 0, matching the paper's attribution of
+    /// head accesses to one arbitrary thread).
+    _sentinels: Arena<Node<K, V>>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipGraph<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SkipGraph<K, V> {}
+
+#[inline]
+fn head_index(level: u8, suffix: u32) -> usize {
+    ((1usize << level) - 1) + suffix as usize
+}
+
+impl<K, V> SkipGraph<K, V> {
+    /// The configuration the graph was built with.
+    pub fn config(&self) -> &GraphConfig {
+        &self.config
+    }
+
+    /// Nodes allocated per thread arena (monotonic; arenas never shrink).
+    pub fn arena_sizes(&self) -> Vec<usize> {
+        self.arenas.iter().map(|a| a.len()).collect()
+    }
+}
+
+impl<K: Ord, V> SkipGraph<K, V> {
+    /// Builds an empty skip graph for the given configuration.
+    pub fn new(config: GraphConfig) -> Self {
+        let membership = membership_vectors(
+            config.membership,
+            config.num_threads,
+            config.max_level,
+        )
+        .into_boxed_slice();
+        let sentinels = Arena::with_chunk_capacity(0, 1024.min(config.chunk_capacity.max(2)));
+        let tail = sentinels.alloc(Node::new_tail()).as_ptr();
+        let max = config.max_level;
+        let mut heads = vec![std::ptr::null_mut(); head_index(max, 0) + (1 << max)];
+        for level in 0..=max {
+            for suffix in 0..(1u32 << level) {
+                let head = sentinels.alloc(Node::new_head(level, suffix));
+                unsafe {
+                    head.as_ref().next[level as usize].store(TagPtr::clean(tail));
+                }
+                heads[head_index(level, suffix)] = head.as_ptr();
+            }
+        }
+        let arenas = (0..config.num_threads)
+            .map(|t| Arena::with_chunk_capacity(t as u16, config.chunk_capacity))
+            .collect();
+        Self {
+            config,
+            membership,
+            heads: heads.into_boxed_slice(),
+            arenas,
+            _sentinels: sentinels,
+        }
+    }
+
+    /// The membership vector of a registered thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn membership_of(&self, thread: u16) -> u32 {
+        self.membership[thread as usize]
+    }
+
+    /// Head of the level-`level` list containing membership vector `mvec`.
+    #[inline]
+    pub(crate) fn head(&self, level: u8, mvec: u32) -> NodePtr<K, V> {
+        self.heads[head_index(level, list_suffix(mvec, level))]
+    }
+
+    /// Allocates a data node in the calling thread's arena.
+    pub(crate) fn alloc_node(
+        &self,
+        key: K,
+        value: V,
+        ctx: &ThreadCtx,
+        top_level: u8,
+    ) -> NonNull<Node<K, V>> {
+        let mvec = self.membership[ctx.id() as usize];
+        self.arenas[ctx.id() as usize].alloc(Node::new_data(
+            key,
+            value,
+            mvec,
+            ctx.id(),
+            top_level,
+            cycles(),
+        ))
+    }
+
+    /// Ensures `node.next[level]` is marked (helping; the mark bit is
+    /// sticky). Recorded as maintenance CAS traffic.
+    pub(crate) fn help_mark(&self, node: &Node<K, V>, level: usize, ctx: &ThreadCtx) {
+        let mut spins = 0u64;
+        loop {
+            spins += 1;
+            debug_assert!(spins < 500_000_000, "help_mark livelock at level {level}");
+            let w = node.load_next(level, ctx);
+            if w.marked() {
+                return;
+            }
+            let _ = node.cas_next(level, w, w.with_mark(), ctx);
+        }
+    }
+
+    /// Alg. 14, `checkRetire`: if `node` is unmarked, invalid, and its
+    /// commission period has expired, start physical removal (Alg. 15,
+    /// `retire`). Returns whether the node is now marked at level 0.
+    ///
+    /// `w0` is a freshly loaded `node.next[0]` word.
+    pub(crate) fn check_retire(
+        &self,
+        node: &Node<K, V>,
+        w0: TagPtr<Node<K, V>>,
+        ctx: &ThreadCtx,
+    ) -> bool {
+        debug_assert!(!w0.marked());
+        if w0.valid() {
+            return false;
+        }
+        if cycles().wrapping_sub(node.alloc_ts) <= self.config.commission_cycles {
+            return false;
+        }
+        // retire(): atomically (false, invalid) -> (true, invalid), then
+        // mark every upper level top-down.
+        match node.cas_next(0, w0, w0.with_mark(), ctx) {
+            Ok(()) => {
+                for level in (1..=node.top_level as usize).rev() {
+                    self.help_mark(node, level, ctx);
+                }
+                true
+            }
+            // An active node is preferably kept unmarked (paper: returning
+            // false "has an operational advantage"); report marked only if
+            // it actually is.
+            Err(w) => w.marked(),
+        }
+    }
+
+    /// Walks the chain of skippable (logically deleted / level-marked)
+    /// nodes starting at `first` in the level-`level` list. Returns the
+    /// first non-skippable node and whether any node was skipped.
+    ///
+    /// Skippability is made *stable* before skipping: a logically deleted
+    /// node gets its level-`level` reference help-marked, so every skipped
+    /// reference is immutable and a chain can be replaced with one CAS (the
+    /// relink optimization).
+    fn skip_chain(
+        &self,
+        first: NodePtr<K, V>,
+        level: usize,
+        ctx: &ThreadCtx,
+        visited: &mut u64,
+    ) -> (NodePtr<K, V>, bool) {
+        let mut cur = first;
+        let mut advanced = false;
+        let mut spins = 0u64;
+        loop {
+            spins += 1;
+            debug_assert!(spins < 500_000_000, "skip_chain livelock at level {level}");
+            let node = unsafe { &*cur };
+            if !node.is_data() {
+                return (cur, advanced); // tail (or a head, which never appears mid-list)
+            }
+            let w = node.load_next(level, ctx);
+            if w.marked() {
+                *visited += 1;
+                cur = w.ptr();
+                advanced = true;
+                continue;
+            }
+            let w0 = if level == 0 {
+                w
+            } else {
+                node.load_next(0, ctx)
+            };
+            let gone = w0.marked()
+                || (self.config.lazy && self.check_retire(node, w0, ctx));
+            if !gone {
+                return (cur, advanced);
+            }
+            // Logically deleted: freeze this level, then hop over.
+            self.help_mark(node, level, ctx);
+            *visited += 1;
+            cur = node.load_next(level, ctx).ptr();
+            advanced = true;
+        }
+    }
+
+    /// The search procedure (Alg. 5 / Alg. 8 unified).
+    ///
+    /// * `mvec` selects which lists to traverse at levels above 0.
+    /// * `start`: a node to jump in from (its key must be `<= key`); `None`
+    ///   starts from the head of the level-`MaxLevel` list of `mvec`.
+    /// * `unlink`: physically remove chains of marked references as they
+    ///   are traversed (non-lazy mode; the lazy variant leaves chains to be
+    ///   replaced by inserting nodes).
+    pub(crate) fn search_from(
+        &self,
+        key: &K,
+        mvec: u32,
+        start: Option<NodePtr<K, V>>,
+        unlink: bool,
+        ctx: &ThreadCtx,
+    ) -> SearchResult<K, V> {
+        let mut visited = 0u64;
+        let (mut prev, top) = match start {
+            Some(p) => (p, unsafe { &*p }.top_level as usize),
+            None => (
+                self.head(self.config.max_level, mvec),
+                self.config.max_level as usize,
+            ),
+        };
+        let mut res = SearchResult::empty();
+        for level in (0..=top).rev() {
+            // A head is per-(level, suffix): switch entry points as we
+            // descend. Data-node predecessors belong to all lower lists.
+            if unsafe { &*prev }.is_head() {
+                prev = self.head(level as u8, mvec);
+            }
+            let mut spins = 0u64;
+            loop {
+                spins += 1;
+                debug_assert!(spins < 500_000_000, "search_from livelock at level {level}");
+                let prev_ref = unsafe { &*prev };
+                let mut middle = prev_ref.load_next(level, ctx);
+                if middle.ptr().is_null() {
+                    // `prev` can only be a start node that was never linked
+                    // at this level: a partially-linked node whose
+                    // finishInsert aborted (Alg. 10 marks it `inserted` so
+                    // nobody retries) can be handed out by getStart during
+                    // the transient window where its upper levels are
+                    // marked but level 0 is not. Re-enter from the head.
+                    prev = self.head(level as u8, mvec);
+                    continue;
+                }
+                let (succ, skipped) = self.skip_chain(middle.ptr(), level, ctx, &mut visited);
+                if skipped && unlink && !middle.marked() {
+                    // Relink: one CAS snips the whole marked chain.
+                    match prev_ref.cas_next(level, middle, middle.with_ptr(succ), ctx) {
+                        Ok(()) => middle = middle.with_ptr(succ),
+                        Err(_) => continue, // re-read this level from prev
+                    }
+                }
+                let succ_ref = unsafe { &*succ };
+                visited += 1;
+                if succ_ref.cmp_key(key) == CmpOrdering::Less {
+                    prev = succ;
+                    continue;
+                }
+                res.preds[level] = prev;
+                res.middles[level] = middle;
+                res.succs[level] = succ;
+                break;
+            }
+        }
+        let s0 = unsafe { &*res.succs[0] };
+        res.found = s0.is_data() && s0.cmp_key(key) == CmpOrdering::Equal && !s0.is_marked(0);
+        ctx.record_search(visited);
+        res
+    }
+
+    /// Number of data nodes currently linked (unmarked, and valid under the
+    /// lazy protocol) in the bottom list. O(n); test/diagnostic use.
+    pub fn len(&self, ctx: &ThreadCtx) -> usize {
+        self.iter_snapshot(ctx).count()
+    }
+
+    /// True when [`SkipGraph::len`] is zero.
+    pub fn is_empty(&self, ctx: &ThreadCtx) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// Structural invariant check, used by tests: the bottom list is
+    /// strictly sorted, every upper-level list is a sub-sequence of the
+    /// bottom list restricted to matching suffixes, and every list ends at
+    /// the tail. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String>
+    where
+        K: std::fmt::Debug,
+    {
+        for level in 0..=self.config.max_level {
+            for suffix in 0..(1u32 << level) {
+                let mut p = self.heads[head_index(level, suffix)];
+                let mut last_key: Option<&K> = None;
+                loop {
+                    let node = unsafe { &*p };
+                    let next = node.next[level as usize].load().ptr();
+                    if next.is_null() {
+                        return Err(format!("level {level}/{suffix}: null next"));
+                    }
+                    let n = unsafe { &*next };
+                    if n.is_tail() {
+                        break;
+                    }
+                    if !n.is_data() {
+                        return Err(format!("level {level}/{suffix}: non-data interior"));
+                    }
+                    let k = unsafe { n.key() };
+                    if let Some(prev_k) = last_key {
+                        if prev_k >= k {
+                            return Err(format!(
+                                "level {level}/{suffix}: order violation at {k:?}"
+                            ));
+                        }
+                    }
+                    last_key = Some(k);
+                    if level > 0 {
+                        if list_suffix(n.mvec, level) != suffix {
+                            return Err(format!(
+                                "level {level}/{suffix}: foreign mvec {:b}",
+                                n.mvec
+                            ));
+                        }
+                        if n.top_level < level {
+                            return Err(format!(
+                                "level {level}/{suffix}: node above its top level"
+                            ));
+                        }
+                    }
+                    p = next;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K, V> std::fmt::Debug for SkipGraph<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipGraph")
+            .field("config", &self.config)
+            .finish()
+    }
+}

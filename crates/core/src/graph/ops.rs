@@ -1,0 +1,340 @@
+//! Insert/remove/contains primitives and the composite operations used when
+//! the skip graph is operated without the thread-local layer.
+//!
+//! The primitives are the building blocks of the paper's algorithms:
+//! `insertHelper` (Alg. 2), `removeHelper` (Alg. 12), level-0 linking with
+//! the relink optimization (Alg. 3 line 14), upper-level linking
+//! (`finishInsert`, Alg. 10), and the eager (non-lazy) logical deletion.
+
+use super::{NodePtr, SearchResult, SkipGraph};
+use crate::node::Node;
+use crate::sync::TagPtr;
+use instrument::ThreadCtx;
+use std::ptr::NonNull;
+
+impl<K: Ord, V> SkipGraph<K, V> {
+    /// Alg. 2, `insertHelper`: linearizes an insertion against an existing
+    /// node with the goal key. Returns `Some(false)` when the node is an
+    /// unmarked valid duplicate, `Some(true)` when the valid bit was flipped
+    /// (the node is resurrected — a successful insertion with no new node),
+    /// or `None` when the node is marked (caller must clean its local
+    /// structures and fall back to a full insert).
+    pub(crate) fn insert_helper(&self, node: &Node<K, V>, ctx: &ThreadCtx) -> Option<bool> {
+        loop {
+            let w0 = node.load_next(0, ctx);
+            if w0.marked() {
+                return None;
+            }
+            if w0.valid() {
+                return Some(false); // duplicate
+            }
+            if node.cas_next(0, w0, w0.with_valid(true), ctx).is_ok() {
+                return Some(true); // flipped invalid -> valid
+            }
+        }
+    }
+
+    /// Alg. 12, `removeHelper`: linearizes a removal against an existing
+    /// node. `Some(false)` — node already invalid (failed removal);
+    /// `Some(true)` — valid bit unset here (successful removal); `None` —
+    /// node marked, fall back to a full search.
+    pub(crate) fn remove_helper(&self, node: &Node<K, V>, ctx: &ThreadCtx) -> Option<bool> {
+        loop {
+            let w0 = node.load_next(0, ctx);
+            if w0.marked() {
+                return None;
+            }
+            if !w0.valid() {
+                return Some(false); // logically deleted already
+            }
+            if node.cas_next(0, w0, w0.with_valid(false), ctx).is_ok() {
+                return Some(true);
+            }
+        }
+    }
+
+    /// Non-lazy logical deletion: marks every upper level top-down, then
+    /// competes to set the level-0 mark (the linearization point). Returns
+    /// whether this call won.
+    pub(crate) fn logical_delete_eager(&self, node: &Node<K, V>, ctx: &ThreadCtx) -> bool {
+        for level in (1..=node.top_level as usize).rev() {
+            self.help_mark(node, level, ctx);
+        }
+        loop {
+            let w0 = node.load_next(0, ctx);
+            if w0.marked() {
+                return false;
+            }
+            if node.cas_next(0, w0, w0.with_mark(), ctx).is_ok() {
+                return true;
+            }
+        }
+    }
+
+    /// Links `node` into the bottom list between `res.preds[0]` and
+    /// `res.succs[0]` with a single CAS, replacing the (possibly non-empty)
+    /// chain of marked references captured in `res.middles[0]` — the relink
+    /// optimization. Returns whether the CAS succeeded.
+    pub(crate) fn try_link_level0(
+        &self,
+        node: NonNull<Node<K, V>>,
+        res: &SearchResult<K, V>,
+        ctx: &ThreadCtx,
+    ) -> bool {
+        let m0 = res.middles[0];
+        if m0.marked() {
+            return false; // predecessor was deleted; caller re-searches
+        }
+        let node_ref = unsafe { node.as_ref() };
+        // Fresh nodes are published unmarked and valid.
+        node_ref.next[0].store(TagPtr::clean(res.succs[0]));
+        let pred = unsafe { &*res.preds[0] };
+        pred.cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
+            .is_ok()
+    }
+
+    /// Alg. 10, `finishInsert`: links `node` at levels `1..=top_level` of
+    /// its associated skip list. `res` must be a search for the node's key
+    /// (it is refreshed in place on CAS failures; `refresh_start` supplies
+    /// an updated jump-in point, mirroring `updateStart`). Returns `false`
+    /// if the node got marked (or superseded) before all levels were linked.
+    pub(crate) fn link_upper(
+        &self,
+        node_nn: NonNull<Node<K, V>>,
+        res: &mut SearchResult<K, V>,
+        ctx: &ThreadCtx,
+        mut refresh_start: impl FnMut() -> Option<NodePtr<K, V>>,
+    ) -> bool {
+        let node = unsafe { node_nn.as_ref() };
+        let key = unsafe { node.key() };
+        let mvec = node.mvec;
+        let unlink = !self.config.lazy;
+        for level in 1..=node.top_level as usize {
+            let mut spins = 0u64;
+            loop {
+                spins += 1;
+                debug_assert!(spins < 100_000_000, "link_upper livelock at level {level}");
+                if res.preds[level].is_null() {
+                    // The search that produced `res` started below this
+                    // level; redo it from the head array.
+                    *res = self.search_from(key, mvec, None, unlink, ctx);
+                    if !res.found || res.succs[0] != node_nn.as_ptr() {
+                        return false;
+                    }
+                    continue;
+                }
+                // Point the node's own level reference at the successor.
+                // Unrecorded: initialization of the thread's in-flight node.
+                loop {
+                    let old = node.load_next_raw(level);
+                    if old.marked() {
+                        // Marked mid-insertion: abort linking (Alg. 10
+                        // lines 10-12: mark as inserted so nobody retries).
+                        node.set_inserted();
+                        return false;
+                    }
+                    if node
+                        .cas_next_raw(level, old, TagPtr::clean(res.succs[level]))
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+                let m = res.middles[level];
+                if !m.marked() {
+                    let pred = unsafe { &*res.preds[level] };
+                    if pred
+                        .cas_next(level, m, m.with_ptr(node_nn.as_ptr()), ctx)
+                        .is_ok()
+                    {
+                        break; // this level is linked; proceed upward
+                    }
+                }
+                // CAS failed: re-search and retry the level.
+                *res = self.search_from(key, mvec, refresh_start(), unlink, ctx);
+                if !res.found || res.succs[0] != node_nn.as_ptr() {
+                    return false; // node no longer the live holder of the key
+                }
+            }
+        }
+        node.set_inserted();
+        true
+    }
+
+    /// Inserts `key -> value` searching from the head array, giving the new
+    /// node an explicit tower height (levels `0..=height`).
+    ///
+    /// Under the lazy configuration a logically deleted duplicate is
+    /// resurrected in place (Alg. 2); under the non-lazy configuration any
+    /// unmarked duplicate fails the insertion.
+    pub fn insert_with_height(&self, key: K, value: V, height: u8, ctx: &ThreadCtx) -> bool {
+        debug_assert!(height <= self.config().max_level);
+        let mvec = self.membership_of(ctx.id());
+        let unlink = !self.config().lazy;
+        let mut pending = Some((key, value));
+        let mut node: Option<NonNull<Node<K, V>>> = None;
+        loop {
+            let mut res = {
+                let kref: &K = match node {
+                    Some(n) => unsafe { (*n.as_ptr()).key() },
+                    None => &pending.as_ref().expect("key pending").0,
+                };
+                self.search_from(kref, mvec, None, unlink, ctx)
+            };
+            if res.found {
+                let existing = unsafe { &*res.succs[0] };
+                if self.config().lazy {
+                    match self.insert_helper(existing, ctx) {
+                        Some(outcome) => return outcome,
+                        None => continue, // became marked; retry
+                    }
+                }
+                return false;
+            }
+            let n = *node.get_or_insert_with(|| {
+                let (k, v) = pending.take().expect("pending kv");
+                self.alloc_node(k, v, ctx, height)
+            });
+            if !self.try_link_level0(n, &res, ctx) {
+                continue;
+            }
+            self.link_upper(n, &mut res, ctx, || None);
+            return true;
+        }
+    }
+
+    /// Inserts `key -> value` with the configured full tower height
+    /// (`MaxLevel`), or a geometric height under the sparse configuration
+    /// using `height_source` (see [`crate::sparse_height`]).
+    pub fn insert(&self, key: K, value: V, ctx: &ThreadCtx, height: u8) -> bool {
+        self.insert_with_height(key, value, height, ctx)
+    }
+
+    /// Removes `key`, searching from the head array. Returns whether the
+    /// key was present (a successful removal was linearized here).
+    pub fn remove(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        let mvec = self.membership_of(ctx.id());
+        if self.config().lazy {
+            loop {
+                let res = self.search_from(key, mvec, None, false, ctx);
+                if !res.found {
+                    return false;
+                }
+                match self.remove_helper(unsafe { &*res.succs[0] }, ctx) {
+                    Some(outcome) => return outcome,
+                    None => continue,
+                }
+            }
+        } else {
+            loop {
+                let res = self.search_from(key, mvec, None, true, ctx);
+                if !res.found {
+                    return false;
+                }
+                if self.logical_delete_eager(unsafe { &*res.succs[0] }, ctx) {
+                    // Physical cleanup: one relink pass over the key's
+                    // position ("searches performed on behalf of removals
+                    // physically remove marked nodes").
+                    let _ = self.search_from(key, mvec, None, true, ctx);
+                    return true;
+                }
+                // Lost the level-0 marking race; retry in case another
+                // unmarked holder of the key exists.
+            }
+        }
+    }
+
+    /// Whether `key` is present (unmarked, and valid under the lazy
+    /// configuration).
+    pub fn contains(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        let mvec = self.membership_of(ctx.id());
+        let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
+        if !res.found {
+            return false;
+        }
+        if self.config().lazy {
+            let w0 = unsafe { &*res.succs[0] }.load_next(0, ctx);
+            !w0.marked() && w0.valid()
+        } else {
+            true
+        }
+    }
+
+    /// Returns a clone of the value mapped to `key`, if present.
+    pub fn get(&self, key: &K, ctx: &ThreadCtx) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mvec = self.membership_of(ctx.id());
+        let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
+        if !res.found {
+            return None;
+        }
+        let node = unsafe { &*res.succs[0] };
+        let w0 = node.load_next(0, ctx);
+        if w0.marked() || (self.config().lazy && !w0.valid()) {
+            return None;
+        }
+        Some(unsafe { node.value() }.clone())
+    }
+
+    /// Removes and returns the smallest present key (priority-queue
+    /// `deleteMin`). Walks the bottom list from the head, attempting to
+    /// linearize a removal on each live node.
+    ///
+    /// Unlike map searches (where the lazy protocol leaves physical
+    /// removal to substituting inserts), `pop_min` snips marked prefixes
+    /// as it walks: under priority-queue usage the minimum region drains
+    /// permanently and no insert would ever land there to relink it.
+    pub fn pop_min(&self, ctx: &ThreadCtx) -> Option<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let lazy = self.config().lazy;
+        let mut prev = self.head(0, 0);
+        loop {
+            let prev_ref = unsafe { &*prev };
+            let middle = prev_ref.load_next(0, ctx);
+            // Walk (and freeze) the dead chain after prev.
+            let mut cur = middle.ptr();
+            let mut skipped = false;
+            loop {
+                let node = unsafe { &*cur };
+                if !node.is_data() {
+                    break;
+                }
+                let w = node.load_next(0, ctx);
+                if w.marked() {
+                    cur = w.ptr();
+                    skipped = true;
+                    continue;
+                }
+                if lazy && !w.valid() && self.check_retire(node, w, ctx) {
+                    cur = node.load_next(0, ctx).ptr();
+                    skipped = true;
+                    continue;
+                }
+                break;
+            }
+            if skipped && !middle.marked() {
+                // Best effort: unlink the dead prefix in one CAS.
+                let _ = prev_ref.cas_next(0, middle, middle.with_ptr(cur), ctx);
+            }
+            let node = unsafe { &*cur };
+            if node.is_tail() {
+                return None;
+            }
+            let won = if lazy {
+                matches!(self.remove_helper(node, ctx), Some(true))
+            } else {
+                let w0 = node.load_next(0, ctx);
+                !w0.marked() && self.logical_delete_eager(node, ctx)
+            };
+            if won {
+                return Some(unsafe { (node.key().clone(), node.value().clone()) });
+            }
+            prev = cur; // lost the race for this node; move past it
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Ordered range scans over the bottom list.
+//!
+//! Skip graph searches can start from arbitrary positions, which makes
+//! range scans natural: locate the lower bound (optionally jumping in from
+//! a thread-local start node), then walk the level-0 list until the upper
+//! bound. Like [`super::SnapshotIter`], the scan is a weak snapshot: each
+//! node's liveness is observed as it is passed.
+
+use super::{NodePtr, SkipGraph};
+use instrument::ThreadCtx;
+use std::ops::Bound;
+
+/// Iterator over live `(key, value)` pairs within a key range, in
+/// ascending order. Created by [`SkipGraph::range`].
+pub struct RangeIter<'g, K, V> {
+    graph: &'g SkipGraph<K, V>,
+    ctx: &'g ThreadCtx,
+    cur: NodePtr<K, V>,
+    end: Bound<K>,
+}
+
+impl<K: Ord + Clone, V> SkipGraph<K, V> {
+    /// Scans live pairs in `[start_bound, end_bound)` semantics given by
+    /// the two bounds, ascending. `start_hint` is an optional jump-in node
+    /// (same contract as search starts: key ≤ the scan's lower bound).
+    pub fn range<'g>(
+        &'g self,
+        start: Bound<&K>,
+        end: Bound<K>,
+        start_hint: Option<NodeRefHint<K, V>>,
+        ctx: &'g ThreadCtx,
+    ) -> RangeIter<'g, K, V> {
+        let mvec = self.membership_of(ctx.id());
+        let hint = start_hint.map(|h| h.0);
+        // Position `cur` at the last node *before* the range so the
+        // iterator's first step lands on the first in-range node.
+        let cur = match &start {
+            Bound::Unbounded => self.head(0, 0),
+            Bound::Included(k) => {
+                let res = self.search_from(k, mvec, hint, false, ctx);
+                res.preds[0]
+            }
+            Bound::Excluded(k) => {
+                // First node with key > k: search for k; if found, start
+                // after the holder, else after the predecessor.
+                let res = self.search_from(k, mvec, hint, false, ctx);
+                if res.found {
+                    res.succs[0]
+                } else {
+                    res.preds[0]
+                }
+            }
+        };
+        RangeIter {
+            graph: self,
+            ctx,
+            cur,
+            end,
+        }
+    }
+
+    /// Collects the live pairs within the range (convenience wrapper).
+    pub fn range_to_vec(
+        &self,
+        start: Bound<&K>,
+        end: Bound<K>,
+        ctx: &ThreadCtx,
+    ) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        self.range(start, end, None, ctx)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// An opaque jump-in hint for [`SkipGraph::range`] (produced by the
+/// layered handle from its local structure).
+pub struct NodeRefHint<K, V>(pub(crate) NodePtr<K, V>);
+
+impl<'g, K: Ord + Clone, V> Iterator for RangeIter<'g, K, V> {
+    type Item = (&'g K, &'g V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let lazy = self.graph.config().lazy;
+        loop {
+            let w = unsafe { &*self.cur }.load_next(0, self.ctx);
+            let next = w.ptr();
+            let node = unsafe { &*next };
+            if node.is_tail() {
+                return None;
+            }
+            self.cur = next;
+            let key = unsafe { node.key() };
+            let in_range = match &self.end {
+                Bound::Unbounded => true,
+                Bound::Included(e) => key <= e,
+                Bound::Excluded(e) => key < e,
+            };
+            if !in_range {
+                return None;
+            }
+            let w0 = node.load_next(0, self.ctx);
+            if !w0.marked() && (!lazy || w0.valid()) {
+                return Some((key, unsafe { node.value() }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GraphConfig;
+    use instrument::ThreadCtx;
+
+    fn graph(lazy: bool) -> SkipGraph<u64, u64> {
+        let g = SkipGraph::new(GraphConfig::new(2).lazy(lazy).chunk_capacity(512));
+        let c = ThreadCtx::plain(0);
+        for k in (0..100u64).step_by(2) {
+            assert!(g.insert_with_height(k, k * 10, g.config().max_level, &c));
+        }
+        g
+    }
+
+    #[test]
+    fn inclusive_exclusive_bounds() {
+        let g = graph(false);
+        let c = ThreadCtx::plain(0);
+        let got = g.range_to_vec(Bound::Included(&10), Bound::Excluded(20), &c);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 12, 14, 16, 18]);
+        let got = g.range_to_vec(Bound::Excluded(&10), Bound::Included(20), &c);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![12, 14, 16, 18, 20]);
+        // Lower bound between keys.
+        let got = g.range_to_vec(Bound::Included(&11), Bound::Excluded(16), &c);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![12, 14]);
+    }
+
+    #[test]
+    fn unbounded_scan_is_full_snapshot() {
+        let g = graph(true);
+        let c = ThreadCtx::plain(0);
+        let got = g.range_to_vec(Bound::Unbounded, Bound::Unbounded, &c);
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(got[0], (0, 0));
+        assert_eq!(got[49], (98, 980));
+    }
+
+    #[test]
+    fn removed_keys_are_skipped() {
+        let g = graph(true);
+        let c = ThreadCtx::plain(0);
+        assert!(g.remove(&12, &c));
+        assert!(g.remove(&14, &c));
+        let got = g.range_to_vec(Bound::Included(&10), Bound::Included(16), &c);
+        assert_eq!(got.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 16]);
+    }
+
+    #[test]
+    fn empty_range() {
+        let g = graph(false);
+        let c = ThreadCtx::plain(0);
+        let got = g.range_to_vec(Bound::Included(&11), Bound::Excluded(12), &c);
+        assert!(got.is_empty());
+        let got = g.range_to_vec(Bound::Included(&1000), Bound::Unbounded, &c);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn values_ride_along() {
+        let g = graph(false);
+        let c = ThreadCtx::plain(0);
+        for (k, v) in g.range(Bound::Unbounded, Bound::Unbounded, None, &c) {
+            assert_eq!(*v, *k * 10);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural introspection.
+//!
+//! [`SkipGraph::structure_stats`] walks the whole structure and reports
+//! its physical composition — live/invalid/marked node counts, per-level
+//! list lengths, arena usage. Used by diagnostics, tests of the lazy
+//! protocol (e.g. "a long commission period leaves invalid nodes
+//! physically present"; the paper discusses exactly this LC-WH overhead),
+//! and the examples.
+
+use super::SkipGraph;
+use crate::mvec::list_suffix;
+use instrument::ThreadCtx;
+
+/// A snapshot of the structure's physical composition. Counts are
+/// approximate under concurrency (a single walk, not an atomic snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureStats {
+    /// Unmarked, valid data nodes in the bottom list (the abstract set).
+    pub live: usize,
+    /// Unmarked but invalid nodes (logically deleted, commission pending —
+    /// lazy variant only).
+    pub invalid: usize,
+    /// Marked nodes still physically linked in the bottom list.
+    pub marked: usize,
+    /// Physically linked nodes per level (including marked ones), summed
+    /// over all lists of that level.
+    pub per_level: Vec<usize>,
+    /// Nodes allocated per thread arena (never shrinks; includes
+    /// physically unlinked and never-published nodes).
+    pub allocated_per_thread: Vec<usize>,
+}
+
+impl StructureStats {
+    /// Total nodes physically present in the bottom list.
+    pub fn physical(&self) -> usize {
+        self.live + self.invalid + self.marked
+    }
+
+    /// Fraction of physically linked bottom-level nodes that are dead
+    /// weight (invalid or marked) — the "bigger structure at times" cost
+    /// of the lazy commission policy.
+    pub fn dead_fraction(&self) -> f64 {
+        let p = self.physical();
+        if p == 0 {
+            0.0
+        } else {
+            (self.invalid + self.marked) as f64 / p as f64
+        }
+    }
+
+    /// Total allocated nodes across all arenas.
+    pub fn allocated(&self) -> usize {
+        self.allocated_per_thread.iter().sum()
+    }
+}
+
+impl<K: Ord, V> SkipGraph<K, V> {
+    /// Walks the structure and reports its physical composition.
+    pub fn structure_stats(&self, ctx: &ThreadCtx) -> StructureStats {
+        let max = self.config().max_level;
+        // Bottom list: classify every physically linked node.
+        let (mut live, mut invalid, mut marked) = (0, 0, 0);
+        let mut cur = unsafe { &*self.head(0, 0) }.load_next(0, ctx).ptr();
+        loop {
+            let node = unsafe { &*cur };
+            if !node.is_data() {
+                break;
+            }
+            let w = node.load_next(0, ctx);
+            if w.marked() {
+                marked += 1;
+            } else if !w.valid() {
+                invalid += 1;
+            } else {
+                live += 1;
+            }
+            cur = w.ptr();
+        }
+        // Upper levels: physical lengths of every list.
+        let mut per_level = vec![live + invalid + marked];
+        for level in 1..=max {
+            let mut count = 0;
+            for suffix in 0..(1u32 << level) {
+                // head(level, mvec) keys on the mvec's suffix, so the
+                // suffix itself addresses the list.
+                let head = unsafe { &*self.head(level, suffix) };
+                let mut p = head.load_next(level as usize, ctx).ptr();
+                loop {
+                    let node = unsafe { &*p };
+                    if !node.is_data() {
+                        break;
+                    }
+                    debug_assert_eq!(list_suffix(node.mvec, level), suffix);
+                    count += 1;
+                    p = node.load_next(level as usize, ctx).ptr();
+                }
+            }
+            per_level.push(count);
+        }
+        StructureStats {
+            live,
+            invalid,
+            marked,
+            per_level,
+            allocated_per_thread: self.arena_sizes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GraphConfig;
+
+    #[test]
+    fn counts_classify_lazy_states() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(
+            GraphConfig::new(2)
+                .lazy(true)
+                .commission_cycles(u64::MAX)
+                .chunk_capacity(256),
+        );
+        let c = ThreadCtx::plain(0);
+        for k in 0..30u64 {
+            assert!(g.insert_with_height(k, k, 0, &c));
+        }
+        for k in 0..10u64 {
+            assert!(g.remove(&k, &c));
+        }
+        let s = g.structure_stats(&c);
+        assert_eq!(s.live, 20);
+        // Commission never expires: removed nodes stay invalid, unmarked.
+        assert_eq!(s.invalid, 10);
+        assert_eq!(s.marked, 0);
+        assert_eq!(s.physical(), 30);
+        assert!((s.dead_fraction() - 10.0 / 30.0).abs() < 1e-9);
+        assert_eq!(s.allocated(), 30);
+    }
+
+    #[test]
+    fn eager_removal_physically_shrinks() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(GraphConfig::new(2).chunk_capacity(256));
+        let c = ThreadCtx::plain(0);
+        for k in 0..30u64 {
+            assert!(g.insert_with_height(k, k, 0, &c));
+        }
+        for k in 0..10u64 {
+            assert!(g.remove(&k, &c));
+        }
+        let s = g.structure_stats(&c);
+        assert_eq!(s.live, 20);
+        assert_eq!(s.invalid, 0);
+        assert_eq!(s.marked, 0, "eager cleanup unlinked the removed nodes");
+        assert_eq!(s.allocated(), 30, "arena never shrinks");
+    }
+
+    #[test]
+    fn per_level_population() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(GraphConfig::new(8).chunk_capacity(1024));
+        let c = ThreadCtx::plain(0);
+        let max = g.config().max_level;
+        for k in 0..100u64 {
+            assert!(g.insert_with_height(k, k, max, &c));
+        }
+        let s = g.structure_stats(&c);
+        assert_eq!(s.per_level.len(), max as usize + 1);
+        // Full-height towers: every level holds every node.
+        for (level, &n) in s.per_level.iter().enumerate() {
+            assert_eq!(n, 100, "level {level}");
+        }
+    }
+
+    #[test]
+    fn zero_commission_marks_show_up() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(
+            GraphConfig::new(2)
+                .lazy(true)
+                .commission_cycles(0)
+                .chunk_capacity(256),
+        );
+        let c = ThreadCtx::plain(0);
+        for k in 0..20u64 {
+            assert!(g.insert_with_height(k, k, 0, &c));
+        }
+        for k in 0..20u64 {
+            assert!(g.remove(&k, &c));
+        }
+        // A pass over the list retires everything...
+        assert!(!g.contains(&0, &c));
+        let s = g.structure_stats(&c);
+        assert_eq!(s.live, 0);
+        // ...but (lazy variant) physical unlinking awaits substituting
+        // inserts, so marked nodes remain linked.
+        assert!(s.marked > 0);
+        assert_eq!(s.dead_fraction(), 1.0);
+    }
+}

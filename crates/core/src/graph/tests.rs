@@ -1,0 +1,368 @@
+//! White-box tests of the shared-structure internals: search/relink
+//! behaviour, the retire protocol, lazy linking, and the head-array
+//! geometry.
+
+use super::*;
+use crate::params::GraphConfig;
+use crate::sparse_height;
+use instrument::{AccessStats, ThreadCtx};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn eager(threads: usize) -> SkipGraph<u64, u64> {
+    SkipGraph::new(GraphConfig::new(threads).chunk_capacity(512))
+}
+
+fn lazy(threads: usize, commission: u64) -> SkipGraph<u64, u64> {
+    SkipGraph::new(
+        GraphConfig::new(threads)
+            .lazy(true)
+            .commission_cycles(commission)
+            .chunk_capacity(512),
+    )
+}
+
+fn ctx(id: u16) -> ThreadCtx {
+    ThreadCtx::plain(id)
+}
+
+#[test]
+fn head_index_geometry() {
+    assert_eq!(head_index(0, 0), 0);
+    assert_eq!(head_index(1, 0), 1);
+    assert_eq!(head_index(1, 1), 2);
+    assert_eq!(head_index(2, 0), 3);
+    assert_eq!(head_index(2, 3), 6);
+    assert_eq!(head_index(3, 0), 7);
+}
+
+#[test]
+fn heads_cover_every_list_and_point_at_tail() {
+    let g = eager(8); // max_level = 2 -> 1 + 2 + 4 = 7 lists
+    let c = ctx(0);
+    for level in 0..=g.config().max_level {
+        for suffix in 0..(1u32 << level) {
+            let head = g.head(level, suffix);
+            let h = unsafe { &*head };
+            assert!(h.is_head());
+            assert_eq!(h.top_level, level);
+            let next = h.load_next(level as usize, &c);
+            assert!(unsafe { &*next.ptr() }.is_tail(), "level {level}/{suffix}");
+        }
+    }
+}
+
+#[test]
+fn search_finds_and_reports_levels() {
+    let g = eager(4); // max_level = 1
+    let c = ctx(0);
+    for k in [10u64, 20, 30] {
+        assert!(g.insert_with_height(k, k, g.config().max_level, &c));
+    }
+    let mvec = g.membership_of(0);
+    let res = g.search_from(&20, mvec, None, true, &c);
+    assert!(res.found);
+    unsafe {
+        assert_eq!(*(*res.succs[0]).key(), 20);
+        assert_eq!(*(*res.preds[0]).key(), 10);
+    }
+    // Absent key: successor is the next greater element.
+    let res = g.search_from(&25, mvec, None, true, &c);
+    assert!(!res.found);
+    unsafe {
+        assert_eq!(*(*res.succs[0]).key(), 30);
+        assert_eq!(*(*res.preds[0]).key(), 20);
+    }
+    // Key below minimum: predecessor is the head.
+    let res = g.search_from(&5, mvec, None, true, &c);
+    assert!(unsafe { &*res.preds[0] }.is_head());
+}
+
+#[test]
+fn eager_search_physically_unlinks_marked_chains() {
+    let g = eager(2); // max_level = 0: pure list, easiest to inspect
+    let c = ctx(0);
+    for k in 0..10u64 {
+        assert!(g.insert_with_height(k, k, 0, &c));
+    }
+    // Logically delete 3..7 without the composite remove (no cleanup pass).
+    let mvec = g.membership_of(0);
+    for k in 3..7u64 {
+        let res = g.search_from(&k, mvec, None, false, &c);
+        assert!(res.found);
+        assert!(g.logical_delete_eager(unsafe { &*res.succs[0] }, &c));
+    }
+    // One unlinking search across the whole chain: pred(2).next must jump
+    // directly to 7 afterwards (a single relink CAS snips the chain).
+    let res = g.search_from(&7, mvec, None, true, &c);
+    assert!(res.found);
+    unsafe {
+        assert_eq!(*(*res.preds[0]).key(), 2);
+        let after = (*res.preds[0]).load_next(0, &c);
+        assert_eq!(*(*after.ptr()).key(), 7, "chain snipped in one hop");
+    }
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn insert_relinks_over_marked_chain() {
+    let g = lazy(2, 0); // zero commission: retire immediately on sight
+    let c = ctx(0);
+    for k in [1u64, 2, 3, 4, 8] {
+        assert!(g.insert_with_height(k, k, 0, &c));
+    }
+    for k in [2u64, 3, 4] {
+        assert!(g.remove(&k, &c));
+    }
+    // A search retires the invalid nodes (marks them)...
+    assert!(!g.contains(&3, &c));
+    // ...and the next insert replaces the whole marked chain with one CAS.
+    assert!(g.insert_with_height(5, 5, 0, &c));
+    let mvec = g.membership_of(0);
+    let res = g.search_from(&5, mvec, None, false, &c);
+    unsafe {
+        assert_eq!(*(*res.preds[0]).key(), 1, "marked 2,3,4 were substituted");
+    }
+    assert_eq!(g.keys(&c), vec![1, 5, 8]);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn lazy_insert_then_finish_links_upper_levels() {
+    let g = lazy(8, u64::MAX); // max_level = 2; commission never expires
+    let c = ctx(0);
+    let res = g.search_from(&50, g.membership_of(0), None, false, &c);
+    assert!(!res.found);
+    let node = g.alloc_node(50, 500, &c, g.config().max_level);
+    assert!(g.try_link_level0(node, &res, &c));
+    // Only level 0 is linked so far.
+    let n = unsafe { node.as_ref() };
+    assert!(!n.is_inserted());
+    assert!(n.load_next_raw(1).ptr().is_null());
+    // finishInsert completes the upper levels.
+    let mut res = g.search_from(&50, g.membership_of(0), None, false, &c);
+    assert!(res.found);
+    assert!(g.link_upper(node, &mut res, &c, || None));
+    assert!(n.is_inserted());
+    for level in 1..=g.config().max_level as usize {
+        assert!(!n.load_next_raw(level).ptr().is_null(), "level {level}");
+    }
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn insert_helper_state_machine() {
+    let g = lazy(2, u64::MAX);
+    let c = ctx(0);
+    assert!(g.insert_with_height(7, 70, 0, &c));
+    let res = g.search_from(&7, g.membership_of(0), None, false, &c);
+    let node = unsafe { &*res.succs[0] };
+    // Valid duplicate -> Some(false).
+    assert_eq!(g.insert_helper(node, &c), Some(false));
+    // Invalid (logically deleted) -> resurrected, Some(true).
+    assert_eq!(g.remove_helper(node, &c), Some(true));
+    assert_eq!(g.insert_helper(node, &c), Some(true));
+    // Marked -> None.
+    assert_eq!(g.remove_helper(node, &c), Some(true));
+    g.help_mark(node, 0, &c);
+    assert_eq!(g.insert_helper(node, &c), None);
+    assert_eq!(g.remove_helper(node, &c), None);
+}
+
+#[test]
+fn remove_helper_double_remove_fails() {
+    let g = lazy(2, u64::MAX);
+    let c = ctx(0);
+    assert!(g.insert_with_height(7, 70, 0, &c));
+    let res = g.search_from(&7, g.membership_of(0), None, false, &c);
+    let node = unsafe { &*res.succs[0] };
+    assert_eq!(g.remove_helper(node, &c), Some(true));
+    assert_eq!(g.remove_helper(node, &c), Some(false), "already invalid");
+}
+
+#[test]
+fn check_retire_respects_commission_period() {
+    // Huge commission: invalid nodes are never retired.
+    let g = lazy(2, u64::MAX);
+    let c = ctx(0);
+    assert!(g.insert_with_height(9, 9, 0, &c));
+    assert!(g.remove(&9, &c));
+    assert!(!g.contains(&9, &c)); // search passes the invalid node
+    let res = g.search_from(&9, g.membership_of(0), None, false, &c);
+    // Node still physically linked and unmarked (invalid only).
+    assert!(res.found || {
+        // found=false because the node is invalid... found checks only the
+        // mark; re-fetch to assert the state precisely.
+        let w = unsafe { &*res.succs[0] }.load_next(0, &c);
+        !w.marked()
+    });
+    // Zero commission: the same sequence marks the node on first contact.
+    let g = lazy(2, 0);
+    let c = ctx(0);
+    assert!(g.insert_with_height(9, 9, 0, &c));
+    assert!(g.remove(&9, &c));
+    assert!(!g.contains(&9, &c)); // this search retires it
+    let res = g.search_from(&9, g.membership_of(0), None, false, &c);
+    assert!(!res.found, "retired node is skipped");
+}
+
+#[test]
+fn help_mark_is_idempotent_and_freezes_pointer() {
+    let g = eager(2);
+    let c = ctx(0);
+    assert!(g.insert_with_height(1, 1, 0, &c));
+    assert!(g.insert_with_height(2, 2, 0, &c));
+    let res = g.search_from(&1, g.membership_of(0), None, false, &c);
+    let node = unsafe { &*res.succs[0] };
+    let before = node.load_next(0, &c).ptr();
+    g.help_mark(node, 0, &c);
+    g.help_mark(node, 0, &c);
+    let w = node.load_next(0, &c);
+    assert!(w.marked());
+    assert_eq!(w.ptr(), before, "mark preserved the successor pointer");
+}
+
+#[test]
+fn partitioned_upper_levels_respect_membership() {
+    // 8 threads (max_level 2, thread-id-suffix membership): thread 0's
+    // nodes (mvec 0) must never appear in the level-1 list "1".
+    let g: SkipGraph<u64, u64> = SkipGraph::new(
+        GraphConfig::new(8)
+            .membership(crate::mvec::MembershipStrategy::ThreadIdSuffix)
+            .chunk_capacity(512),
+    );
+    let c0 = ctx(0); // mvec 00
+    let c1 = ctx(1); // mvec 01
+    for k in 0..20u64 {
+        assert!(g.insert_with_height(k * 2, k, g.config().max_level, &c0));
+        assert!(g.insert_with_height(k * 2 + 1, k, g.config().max_level, &c1));
+    }
+    // Walk level-1 list "1" (suffix 1): only odd keys (thread 1, mvec 01).
+    let head = g.head(1, 1);
+    let mut cur = unsafe { &*head }.load_next(1, &c0).ptr();
+    let mut seen = 0;
+    while unsafe { &*cur }.is_data() {
+        let n = unsafe { &*cur };
+        assert_eq!(n.mvec & 1, 1, "foreign node in list (1,1)");
+        seen += 1;
+        cur = n.load_next(1, &c0).ptr();
+    }
+    assert_eq!(seen, 20);
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn sparse_heights_bound_tower_population() {
+    let g: SkipGraph<u64, u64> =
+        SkipGraph::new(GraphConfig::new(8).sparse(true).chunk_capacity(4096));
+    let c = ctx(0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let max = g.config().max_level;
+    for k in 0..2000u64 {
+        let h = sparse_height(&mut rng, max);
+        assert!(g.insert_with_height(k, k, h, &c));
+    }
+    // Count nodes in the thread's top-level list: expectation is
+    // 2000 / 4^max (partitioning x sparse refinement would be for the
+    // thread split; here a single thread inserts everything, so the
+    // top list holds ~2000/2^max of the nodes).
+    let head = g.head(max, g.membership_of(0));
+    let mut cur = unsafe { &*head }.load_next(max as usize, &c).ptr();
+    let mut count = 0;
+    while unsafe { &*cur }.is_data() {
+        count += 1;
+        cur = unsafe { &*cur }.load_next(max as usize, &c).ptr();
+    }
+    let expected = 2000.0 / (1 << max) as f64;
+    assert!(
+        (count as f64) < expected * 2.0 && (count as f64) > expected / 3.0,
+        "top-level population {count}, expected about {expected}"
+    );
+    g.check_invariants().unwrap();
+}
+
+#[test]
+fn snapshot_iter_skips_dead_nodes() {
+    let g = lazy(2, u64::MAX);
+    let c = ctx(0);
+    for k in 0..10u64 {
+        assert!(g.insert_with_height(k, k * 10, 0, &c));
+    }
+    for k in (0..10u64).step_by(2) {
+        assert!(g.remove(&k, &c));
+    }
+    let pairs: Vec<(u64, u64)> = g.iter_snapshot(&c).map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+    assert_eq!(g.len(&c), 5);
+    assert!(!g.is_empty(&c));
+}
+
+#[test]
+fn traversal_lengths_are_recorded() {
+    let stats = AccessStats::new(1);
+    let g = eager(2);
+    let c = ThreadCtx::recording(0, Arc::clone(&stats));
+    for k in 0..50u64 {
+        assert!(g.insert_with_height(k, k, g.config().max_level, &c));
+    }
+    let before = stats.totals();
+    assert!(g.contains(&25, &c));
+    let after = stats.totals();
+    assert_eq!(after.searches, before.searches + 1);
+    assert!(after.traversed > before.traversed);
+}
+
+#[test]
+fn search_from_start_node_matches_head_search() {
+    let g = eager(4);
+    let c = ctx(0);
+    for k in 0..100u64 {
+        assert!(g.insert_with_height(k, k, g.config().max_level, &c));
+    }
+    let mvec = g.membership_of(0);
+    // Use the node holding 40 as a jump-in point for key 70.
+    let r40 = g.search_from(&40, mvec, None, false, &c);
+    assert!(r40.found);
+    let from_head = g.search_from(&70, mvec, None, false, &c);
+    let from_node = g.search_from(&70, mvec, Some(r40.succs[0]), false, &c);
+    assert!(from_head.found && from_node.found);
+    assert_eq!(from_head.succs[0], from_node.succs[0]);
+    assert_eq!(from_head.preds[0], from_node.preds[0]);
+}
+
+#[test]
+fn pop_min_under_concurrent_inserts() {
+    let g = Arc::new(lazy(4, 0));
+    let popped: Vec<Vec<u64>> = std::thread::scope(|s| {
+        (0..4u16)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    let c = ctx(t);
+                    let mut got = Vec::new();
+                    for i in 0..300u64 {
+                        let k = i * 4 + t as u64;
+                        assert!(g.insert_with_height(k, k, 0, &c));
+                        if i % 3 == 2 {
+                            if let Some((k, _)) = g.pop_min(&c) {
+                                got.push(k);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let mut all: Vec<u64> = popped.into_iter().flatten().collect();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "pop_min never yields a key twice");
+    let c = ctx(0);
+    assert_eq!(g.len(&c) + n, 1200);
+}

@@ -1,0 +1,627 @@
+//! The layered structure: per-thread sequential maps over the shared skip
+//! graph (the paper's primary contribution).
+//!
+//! [`LayeredMap`] owns the shared structure; each participating thread
+//! registers once and receives a [`LayeredHandle`], which owns the thread's
+//! *local structures* — an ordered [`LocalMap`] (default
+//! [`BTreeLocalMap`]) and a [`RobinHoodMap`] consulted first — plus the
+//! recording [`ThreadCtx`].
+//!
+//! The handle implements the paper's algorithms:
+//!
+//! * insert — Alg. 1 (hashtable fast path + `insertHelper`) and Alg. 3
+//!   (`lazyInsert`) under the lazy configuration, or the eager all-levels
+//!   insertion otherwise;
+//! * remove — Alg. 11/12/13;
+//! * contains — Alg. 6/7;
+//! * `getStart` — Alg. 4 (backward traversal, finishing pending insertions
+//!   via `finishInsert`, Alg. 10) and `updateStart` — Alg. 9.
+//!
+//! # Example
+//!
+//! ```
+//! use skipgraph::{GraphConfig, LayeredMap};
+//! use instrument::ThreadCtx;
+//!
+//! let map: LayeredMap<u64, &str> = LayeredMap::new(GraphConfig::new(2).lazy(true));
+//! let mut h = map.register(ThreadCtx::plain(0));
+//! assert!(h.insert(7, "seven"));
+//! assert!(h.contains(&7));
+//! assert!(h.remove(&7));
+//! assert!(!h.contains(&7));
+//! ```
+
+use crate::graph::{NodePtr, NodeRef, NodeRefHint, RangeIter, SkipGraph};
+use crate::local::{BTreeLocalMap, LocalMap, RobinHoodMap};
+use crate::params::GraphConfig;
+use crate::sparse_height;
+use instrument::ThreadCtx;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hash::Hash;
+
+/// A concurrent ordered map built by layering thread-local maps over a
+/// NUMA-partitioned skip graph.
+pub struct LayeredMap<K, V> {
+    shared: SkipGraph<K, V>,
+}
+
+impl<K: Ord, V> LayeredMap<K, V> {
+    /// Builds the map for a [`GraphConfig`].
+    pub fn new(config: GraphConfig) -> Self {
+        Self {
+            shared: SkipGraph::new(config),
+        }
+    }
+
+    /// The underlying shared structure.
+    pub fn shared(&self) -> &SkipGraph<K, V> {
+        &self.shared
+    }
+
+    /// The configuration the map was built with.
+    pub fn config(&self) -> &GraphConfig {
+        self.shared.config()
+    }
+
+    /// Builds the map and loads it with `pairs` through thread slot 0
+    /// (single-threaded; a convenience for tests and cold starts — the
+    /// loaded nodes are all owned by slot 0's arena).
+    pub fn bulk_load<I>(config: GraphConfig, pairs: I) -> Self
+    where
+        K: Hash + Clone,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let map = Self::new(config);
+        {
+            let mut h = map.register(ThreadCtx::plain(0));
+            for (k, v) in pairs {
+                let _ = h.insert(k, v);
+            }
+        }
+        map
+    }
+
+    /// Rebuilds the map into a fresh structure containing a snapshot of
+    /// the live entries, releasing all arena memory held by dead nodes.
+    ///
+    /// Shared nodes are arena-allocated and never freed mid-run (the
+    /// paper's memory model), so long removal-heavy runs grow memory
+    /// monotonically; periodic quiescent-point compaction is the
+    /// operational counterpart. The caller must guarantee quiescence: the
+    /// snapshot is a weak one, and handles to the *old* map keep operating
+    /// on the old structure.
+    pub fn rebuild(&self) -> Self
+    where
+        K: Hash + Clone,
+        V: Clone,
+    {
+        let ctx = ThreadCtx::plain(0);
+        Self::bulk_load(
+            self.config().clone(),
+            self.shared
+                .iter_snapshot(&ctx)
+                .map(|(k, v)| (k.clone(), v.clone())),
+        )
+    }
+
+    /// Registers the calling thread, using the default
+    /// ([`BTreeLocalMap`]) ordered local structure.
+    ///
+    /// `ctx.id()` must be a dense id below `config.num_threads`, unique per
+    /// live handle.
+    pub fn register(&self, ctx: ThreadCtx) -> LayeredHandle<'_, K, V>
+    where
+        K: Hash + Clone,
+    {
+        self.register_with_local(ctx, BTreeLocalMap::default())
+    }
+
+    /// Registers the calling thread with a user-provided ordered local
+    /// structure (the layer is generic in the paper's sense: any sequential
+    /// navigable map works).
+    pub fn register_with_local<L>(&self, ctx: ThreadCtx, local: L) -> LayeredHandle<'_, K, V, L>
+    where
+        K: Hash + Clone,
+        L: LocalMap<K, NodeRef<K, V>>,
+    {
+        assert!(
+            (ctx.id() as usize) < self.config().num_threads,
+            "thread id {} out of range (num_threads = {})",
+            ctx.id(),
+            self.config().num_threads
+        );
+        let mvec = self.shared.membership_of(ctx.id());
+        let seed = 0x5ee0_dead_beef_u64 ^ (ctx.id() as u64) << 32;
+        LayeredHandle {
+            map: self,
+            mvec,
+            local,
+            hash: RobinHoodMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            ctx,
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for LayeredMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayeredMap")
+            .field("config", self.shared.config())
+            .finish()
+    }
+}
+
+/// A per-thread handle to a [`LayeredMap`]. Not `Send`: it owns the
+/// thread's local structures.
+pub struct LayeredHandle<'m, K, V, L = BTreeLocalMap<K, NodeRef<K, V>>> {
+    map: &'m LayeredMap<K, V>,
+    ctx: ThreadCtx,
+    mvec: u32,
+    local: L,
+    hash: RobinHoodMap<K, NodeRef<K, V>>,
+    rng: SmallRng,
+}
+
+impl<'m, K, V, L> LayeredHandle<'m, K, V, L>
+where
+    K: Ord + Hash + Clone,
+    L: LocalMap<K, NodeRef<K, V>>,
+{
+    /// The recording context of this thread.
+    pub fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+
+    /// This thread's membership vector.
+    pub fn membership(&self) -> u32 {
+        self.mvec
+    }
+
+    /// Entries currently held by the thread-local ordered structure
+    /// (diagnostics; the paper's sparse variant keeps this small).
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    fn lazy(&self) -> bool {
+        self.map.config().lazy
+    }
+
+    fn sparse(&self) -> bool {
+        self.map.config().sparse
+    }
+
+    fn max_level(&self) -> u8 {
+        self.map.config().max_level
+    }
+
+    /// Tower height for a new node: `MaxLevel` normally; geometric with
+    /// p = 1/2 under the sparse configuration.
+    fn new_height(&mut self) -> u8 {
+        let max = self.max_level();
+        if self.sparse() {
+            sparse_height(&mut self.rng, max)
+        } else {
+            max
+        }
+    }
+
+    /// Whether a freshly inserted node should be indexed by the local
+    /// structures. Non-lazy sparse graphs index only nodes that reached the
+    /// top level (the paper: "only elements that reach the top level are
+    /// added to the local structures"); the lazy protocol needs every node
+    /// locally indexed so pending insertions can be finished.
+    fn should_index(&self, height: u8) -> bool {
+        self.lazy() || !self.sparse() || height == self.max_level()
+    }
+
+    fn erase_local(&mut self, key: &K) {
+        self.local.remove(key);
+        self.hash.remove(key);
+    }
+
+    /// Alg. 9, `updateStart`: the closest preceding *fully inserted* start
+    /// candidate strictly before `key`, without finishing insertions or
+    /// erasing stale entries. `min_top` filters to nodes tall enough for the
+    /// caller (a search started from a node only fills levels up to its top,
+    /// so linking a height-`h` node needs a start of at least that height).
+    fn prev_start(&self, key: &K, min_top: u8) -> Option<NodePtr<K, V>> {
+        let mut cursor = key.clone();
+        loop {
+            let (k, r) = self.local.pred(&cursor)?;
+            let node = unsafe { r.0.as_ref() };
+            let usable = node.is_inserted()
+                && node.top_level >= min_top
+                && (!node.is_marked(0) || !node.is_marked(node.top_level as usize));
+            if usable {
+                return Some(r.0.as_ptr());
+            }
+            cursor = k.clone();
+        }
+    }
+
+    /// Alg. 4, `getStart`: the closest preceding usable start node. Walks
+    /// the local structure backwards, erasing mappings to marked nodes and
+    /// finishing pending insertions (Alg. 10) along the way.
+    fn get_start(&mut self, key: &K, min_top: u8) -> Option<NodePtr<K, V>> {
+        let mut probe = self
+            .local
+            .max_lower_equal(key)
+            .map(|(k, r)| (k.clone(), r));
+        while let Some((k, r)) = probe {
+            let node = unsafe { r.0.as_ref() };
+            let mark0 = node.is_marked(0);
+            let mark_top = node.is_marked(node.top_level as usize);
+            if !mark0 || !mark_top {
+                if node.is_inserted() {
+                    if node.top_level >= min_top {
+                        return Some(r.0.as_ptr()); // found fully inserted
+                    }
+                    // Alive but too short to start from: step back.
+                } else {
+                    // Try to complete the pending insertion.
+                    let shared = &self.map.shared;
+                    let top = node.top_level;
+                    let start2 = self.prev_start(&k, top);
+                    let mut res = shared.search_from(&k, self.mvec, start2, false, &self.ctx);
+                    let finished = res.found
+                        && res.succs[0] == r.0.as_ptr()
+                        && shared.link_upper(r.0, &mut res, &self.ctx, || {
+                            self.prev_start(&k, top)
+                        });
+                    if finished {
+                        if node.top_level >= min_top {
+                            return Some(r.0.as_ptr()); // just fully inserted
+                        }
+                    } else {
+                        self.erase_local(&k); // insertion could not complete
+                    }
+                }
+            } else {
+                self.erase_local(&k); // marked: clean the stale mapping
+            }
+            probe = self.local.pred(&k).map(|(k2, r2)| (k2.clone(), r2));
+        }
+        None
+    }
+
+    /// Inserts `key -> value`. Returns `false` if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.ctx.record_op();
+        let shared = &self.map.shared;
+        // Fast path: the local hashtable (Alg. 1 / Alg. 2).
+        if let Some(r) = self.hash.get(&key).copied() {
+            let node = unsafe { r.0.as_ref() };
+            if self.lazy() {
+                match shared.insert_helper(node, &self.ctx) {
+                    Some(outcome) => return outcome,
+                    None => self.erase_local(&key), // marked: fall through
+                }
+            } else if !node.is_marked(0) {
+                return false; // duplicate
+            } else {
+                self.erase_local(&key);
+            }
+        }
+        let height = self.new_height();
+        if self.lazy() {
+            self.lazy_insert(key, value, height)
+        } else {
+            self.eager_insert(key, value, height)
+        }
+    }
+
+    /// Alg. 3, `lazyInsert`: link at level 0 only; upper levels are
+    /// completed on demand by `getStart`.
+    fn lazy_insert(&mut self, key: K, value: V, height: u8) -> bool {
+        let shared = &self.map.shared;
+        let mut pending = Some(value);
+        let mut start = self.get_start(&key, 0);
+        let mut node = None;
+        loop {
+            let res = shared.search_from(&key, self.mvec, start, false, &self.ctx);
+            if res.found {
+                let existing = unsafe { &*res.succs[0] };
+                match shared.insert_helper(existing, &self.ctx) {
+                    Some(outcome) => return outcome,
+                    None => continue, // became marked; retry the search
+                }
+            }
+            let n = *node.get_or_insert_with(|| {
+                let v = pending.take().expect("value pending");
+                shared.alloc_node(key.clone(), v, &self.ctx, height)
+            });
+            if shared.try_link_level0(n, &res, &self.ctx) {
+                self.local.insert(key.clone(), NodeRef(n));
+                self.hash.insert(key, NodeRef(n));
+                return true;
+            }
+            start = self.prev_start(&key, 0); // updateStart (Alg. 3 line 15)
+        }
+    }
+
+    /// Non-lazy insertion: level 0 plus an eager `finishInsert`.
+    fn eager_insert(&mut self, key: K, value: V, height: u8) -> bool {
+        let shared = &self.map.shared;
+        let mut pending = Some(value);
+        let mut start = self.get_start(&key, height);
+        let mut node = None;
+        let mut spins = 0u64;
+        loop {
+            spins += 1;
+            debug_assert!(spins < 100_000_000, "eager_insert livelock");
+            let mut res = shared.search_from(&key, self.mvec, start, true, &self.ctx);
+            if res.found {
+                return false; // unmarked duplicate
+            }
+            let n = *node.get_or_insert_with(|| {
+                let v = pending.take().expect("value pending");
+                shared.alloc_node(key.clone(), v, &self.ctx, height)
+            });
+            if !shared.try_link_level0(n, &res, &self.ctx) {
+                start = self.prev_start(&key, height);
+                continue;
+            }
+            let _ =
+                shared.link_upper(n, &mut res, &self.ctx, || self.prev_start(&key, height));
+            if self.should_index(height) {
+                self.local.insert(key.clone(), NodeRef(n));
+                self.hash.insert(key, NodeRef(n));
+            }
+            return true;
+        }
+    }
+
+    /// Removes `key`. Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.ctx.record_op();
+        let shared = &self.map.shared;
+        // Fast path (Alg. 11 / Alg. 12).
+        if let Some(r) = self.hash.get(key).copied() {
+            let node = unsafe { r.0.as_ref() };
+            if self.lazy() {
+                match shared.remove_helper(node, &self.ctx) {
+                    Some(outcome) => return outcome,
+                    None => self.erase_local(key), // marked: fall through
+                }
+            } else {
+                let w0 = node.load_next(0, &self.ctx);
+                if !w0.marked() {
+                    let won = shared.logical_delete_eager(node, &self.ctx);
+                    self.erase_local(key);
+                    if won {
+                        // Physical cleanup pass.
+                        let start = self.get_start(key, 0);
+                        let _ = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                    }
+                    return won;
+                }
+                self.erase_local(key);
+            }
+        }
+        if self.lazy() {
+            // Alg. 13, lazyRemove.
+            let mut start = self.get_start(key, 0);
+            loop {
+                let res = shared.search_from(key, self.mvec, start, false, &self.ctx);
+                if !res.found {
+                    return false;
+                }
+                match shared.remove_helper(unsafe { &*res.succs[0] }, &self.ctx) {
+                    Some(outcome) => return outcome,
+                    None => start = self.prev_start(key, 0),
+                }
+            }
+        } else {
+            let mut spins = 0u64;
+            loop {
+                spins += 1;
+                debug_assert!(spins < 100_000_000, "eager_remove livelock");
+                let start = self.get_start(key, 0);
+                let res = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                if !res.found {
+                    return false;
+                }
+                if shared.logical_delete_eager(unsafe { &*res.succs[0] }, &self.ctx) {
+                    let _ = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.ctx.record_op();
+        let shared = &self.map.shared;
+        // Alg. 6: speculative hashtable hit.
+        if let Some(r) = self.hash.get(key).copied() {
+            let node = unsafe { r.0.as_ref() };
+            let w0 = node.load_next(0, &self.ctx);
+            if !w0.marked() {
+                return !self.lazy() || w0.valid();
+            }
+            self.erase_local(key);
+        }
+        // Alg. 7: search from the local start.
+        let start = self.get_start(key, 0);
+        let res = shared.search_from(key, self.mvec, start, !self.lazy(), &self.ctx);
+        if !res.found {
+            return false;
+        }
+        if self.lazy() {
+            let w0 = unsafe { &*res.succs[0] }.load_next(0, &self.ctx);
+            !w0.marked() && w0.valid()
+        } else {
+            true
+        }
+    }
+
+    /// Returns a clone of the value mapped to `key`, if present.
+    pub fn get(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.ctx.record_op();
+        let shared = &self.map.shared;
+        if let Some(r) = self.hash.get(key).copied() {
+            let node = unsafe { r.0.as_ref() };
+            let w0 = node.load_next(0, &self.ctx);
+            if !w0.marked() {
+                if !self.lazy() || w0.valid() {
+                    return Some(unsafe { node.value() }.clone());
+                }
+                return None;
+            }
+            self.erase_local(key);
+        }
+        let start = self.get_start(key, 0);
+        let res = shared.search_from(key, self.mvec, start, !self.lazy(), &self.ctx);
+        if !res.found {
+            return None;
+        }
+        let node = unsafe { &*res.succs[0] };
+        let w0 = node.load_next(0, &self.ctx);
+        if w0.marked() || (self.lazy() && !w0.valid()) {
+            return None;
+        }
+        Some(unsafe { node.value() }.clone())
+    }
+
+    /// Returns the value mapped to `key`, inserting `value` first if the
+    /// key is absent. The returned value is the one actually mapped — an
+    /// existing (or, under the lazy protocol, resurrected) node keeps its
+    /// original value.
+    ///
+    /// Under continuous adversarial removals of the same key this retries;
+    /// each retry implies another thread's operation completed (lock-free).
+    pub fn get_or_insert(&mut self, key: K, value: V) -> V
+    where
+        V: Clone,
+    {
+        loop {
+            if let Some(v) = self.get(&key) {
+                return v;
+            }
+            if self.insert(key.clone(), value.clone()) {
+                if let Some(v) = self.get(&key) {
+                    return v;
+                }
+                // Removed again between our insert and read; retry.
+            }
+        }
+    }
+
+    /// Ordered scan of the live pairs in the given key range, jumping into
+    /// the shared structure from this thread's local map (the same
+    /// mechanism that accelerates point operations accelerates the scan's
+    /// positioning step).
+    pub fn range(
+        &mut self,
+        start: std::ops::Bound<&K>,
+        end: std::ops::Bound<K>,
+    ) -> RangeIter<'_, K, V> {
+        // Use the strictly-preceding local node as the jump-in hint: a
+        // hint holding the bound key itself would make the positioning
+        // search start *at* (and therefore skip) the first in-range node
+        // (point operations avoid this case via the hashtable fast path).
+        let hint = match &start {
+            std::ops::Bound::Included(k) | std::ops::Bound::Excluded(k) => {
+                self.prev_start(k, 0).map(NodeRefHint)
+            }
+            std::ops::Bound::Unbounded => None,
+        };
+        self.map.shared.range(start, end, hint, &self.ctx)
+    }
+
+    /// Collects the live pairs within the range.
+    pub fn range_to_vec(
+        &mut self,
+        start: std::ops::Bound<&K>,
+        end: std::ops::Bound<K>,
+    ) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        self.range(start, end)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// A read-only, `Send`-able view of a [`LayeredMap`], for threads outside
+/// the registered set (the paper's heterogeneous-workload accommodation:
+/// "searching (read-only) from another thread's local structure" — here,
+/// simpler and contention-free, searching from the head array without any
+/// local structure).
+pub struct ReadOnlyView<'m, K, V> {
+    map: &'m LayeredMap<K, V>,
+    ctx: ThreadCtx,
+}
+
+impl<K: Ord, V> LayeredMap<K, V> {
+    /// A read-only view usable from any thread. `reader_slot` selects the
+    /// membership vector used for traversal (any registered slot works;
+    /// reads are correct regardless of the slot, it only affects which
+    /// upper-level lists the search descends through).
+    pub fn read_only(&self, reader_slot: u16) -> ReadOnlyView<'_, K, V> {
+        let slot = (reader_slot as usize % self.config().num_threads) as u16;
+        ReadOnlyView {
+            map: self,
+            ctx: ThreadCtx::plain(slot),
+        }
+    }
+}
+
+impl<'m, K: Ord, V> ReadOnlyView<'m, K, V> {
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.shared.contains(key, &self.ctx)
+    }
+
+    /// A clone of the value mapped to `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.map.shared.get(key, &self.ctx)
+    }
+
+    /// Ordered scan of the live pairs within the range.
+    pub fn range(
+        &self,
+        start: std::ops::Bound<&K>,
+        end: std::ops::Bound<K>,
+    ) -> RangeIter<'_, K, V>
+    where
+        K: Clone,
+    {
+        self.map.shared.range(start, end, None, &self.ctx)
+    }
+
+    /// Number of live entries (O(n) snapshot walk).
+    pub fn len(&self) -> usize {
+        self.map.shared.len(&self.ctx)
+    }
+
+    /// Whether the map appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'m, K, V> std::fmt::Debug for ReadOnlyView<'m, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadOnlyView").finish_non_exhaustive()
+    }
+}
+
+impl<'m, K, V, L> std::fmt::Debug for LayeredHandle<'m, K, V, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayeredHandle")
+            .field("thread", &self.ctx.id())
+            .field("mvec", &self.mvec)
+            .finish()
+    }
+}

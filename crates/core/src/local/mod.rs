@@ -1,0 +1,59 @@
+//! Thread-local structures.
+//!
+//! The layered design places a *sequential*, navigable map in each thread,
+//! mapping the keys the thread inserted to their shared nodes. The paper
+//! uses a C++ `std::map` plus an auxiliary robin-hood hash table ("our local
+//! structures, in practice, are implemented with two complementary,
+//! sequential data structures"). Here:
+//!
+//! * [`LocalMap`] is the user-pluggable trait the ordered structure must
+//!   satisfy: predecessor queries (`getMaxLowerEqual`) and backward
+//!   traversal, as required by `getStart` (Alg. 4) and `updateStart`
+//!   (Alg. 9);
+//! * [`BTreeLocalMap`] is the default implementation over
+//!   `std::collections::BTreeMap`;
+//! * [`RobinHoodMap`] is the hash table consulted before the slower ordered
+//!   map (a reimplementation of the robin-hood open-addressing scheme the
+//!   paper takes from `martinus/robin-hood-hashing`).
+
+mod btree;
+mod robinhood;
+mod sortedvec;
+
+pub use btree::BTreeLocalMap;
+pub use robinhood::RobinHoodMap;
+pub use sortedvec::SortedVecLocalMap;
+
+/// A sequential ordered map from keys to opaque shared-node references,
+/// supporting the backward navigation the layered algorithms need.
+///
+/// `R` is the reference type stored ([`crate::NodeRef`] in practice); it is
+/// `Copy` so implementations never hand out interior mutability.
+pub trait LocalMap<K: Ord, R: Copy>: Default {
+    /// Inserts or replaces the mapping for `key`.
+    fn insert(&mut self, key: K, node: R);
+
+    /// Removes the mapping for `key`; returns whether it was present.
+    fn remove(&mut self, key: &K) -> bool;
+
+    /// The mapping for `key`, if any.
+    fn get(&self, key: &K) -> Option<R>;
+
+    /// The mapping with the greatest key `<= key` (the paper's
+    /// `getMaxLowerEqual`).
+    fn max_lower_equal(&self, key: &K) -> Option<(&K, R)>;
+
+    /// The mapping with the greatest key `< key` (one backward step).
+    fn pred(&self, key: &K) -> Option<(&K, R)>;
+
+    /// Number of mappings.
+    fn len(&self) -> usize;
+
+    /// Whether the map is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every mapping.
+    fn clear(&mut self);
+}

@@ -1,0 +1,309 @@
+//! Shared node layout.
+//!
+//! A shared node carries its key/value, a fixed-size tower of tagged `next`
+//! references (one per level), the membership vector of the inserting
+//! thread, the NUMA-ownership tag used by the instrumentation, the
+//! `inserted` flag of the lazy protocol, and the allocation timestamp used
+//! by the commission period.
+
+use crate::sync::{TagPtr, TaggedAtomic};
+use instrument::ThreadCtx;
+use std::cmp::Ordering as CmpOrdering;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Maximum tower height supported by the inline layout. The layered
+/// structures use `MaxLevel = ceil(log2 T) - 1`, so 8 levels support up to
+/// 2^9 = 512 threads.
+pub const MAX_HEIGHT: usize = 8;
+
+/// What a node is: a per-list head sentinel, a data node, or the shared
+/// tail sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeKind {
+    Head,
+    Data,
+    Tail,
+}
+
+pub(crate) struct Node<K, V> {
+    /// `next[i]` is this node's successor in the level-`i` linked list it
+    /// belongs to, tagged with (marked, valid) bits.
+    pub(crate) next: [TaggedAtomic<Node<K, V>>; MAX_HEIGHT],
+    key: MaybeUninit<K>,
+    value: MaybeUninit<V>,
+    pub(crate) kind: NodeKind,
+    /// Membership vector of the inserting thread (suffixes select lists).
+    pub(crate) mvec: u32,
+    /// Benchmark thread that allocated this node (NUMA-ownership tag).
+    pub(crate) owner: u16,
+    /// Highest level this node participates in (`0..MAX_HEIGHT`).
+    pub(crate) top_level: u8,
+    /// Lazy protocol: true once the node is linked at all its levels.
+    pub(crate) inserted: AtomicBool,
+    /// Cycle timestamp at allocation (commission period, Alg. 14).
+    pub(crate) alloc_ts: u64,
+}
+
+fn empty_tower<K, V>() -> [TaggedAtomic<Node<K, V>>; MAX_HEIGHT] {
+    std::array::from_fn(|_| TaggedAtomic::null())
+}
+
+impl<K, V> Node<K, V> {
+    pub(crate) fn new_data(
+        key: K,
+        value: V,
+        mvec: u32,
+        owner: u16,
+        top_level: u8,
+        alloc_ts: u64,
+    ) -> Self {
+        debug_assert!((top_level as usize) < MAX_HEIGHT);
+        Self {
+            next: empty_tower(),
+            key: MaybeUninit::new(key),
+            value: MaybeUninit::new(value),
+            kind: NodeKind::Data,
+            mvec,
+            owner,
+            top_level,
+            inserted: AtomicBool::new(false),
+            alloc_ts,
+        }
+    }
+
+    /// A head sentinel for the list (`level`, `suffix`). Heads compare less
+    /// than every key. Head accesses are attributed to thread 0 (the paper
+    /// attributes head-array accesses "arbitrarily" to one thread).
+    pub(crate) fn new_head(level: u8, suffix: u32) -> Self {
+        Self {
+            next: empty_tower(),
+            key: MaybeUninit::uninit(),
+            value: MaybeUninit::uninit(),
+            kind: NodeKind::Head,
+            mvec: suffix,
+            owner: 0,
+            top_level: level,
+            inserted: AtomicBool::new(true),
+            alloc_ts: 0,
+        }
+    }
+
+    /// The single tail sentinel, comparing greater than every key.
+    pub(crate) fn new_tail() -> Self {
+        Self {
+            next: empty_tower(),
+            key: MaybeUninit::uninit(),
+            value: MaybeUninit::uninit(),
+            kind: NodeKind::Tail,
+            mvec: 0,
+            owner: 0,
+            top_level: (MAX_HEIGHT - 1) as u8,
+            inserted: AtomicBool::new(true),
+            alloc_ts: 0,
+        }
+    }
+
+    pub(crate) fn is_data(&self) -> bool {
+        self.kind == NodeKind::Data
+    }
+
+    pub(crate) fn is_tail(&self) -> bool {
+        self.kind == NodeKind::Tail
+    }
+
+    pub(crate) fn is_head(&self) -> bool {
+        self.kind == NodeKind::Head
+    }
+
+    /// The node's key.
+    ///
+    /// # Safety: callers must ensure the node is a data node.
+    pub(crate) unsafe fn key(&self) -> &K {
+        debug_assert!(self.is_data());
+        self.key.assume_init_ref()
+    }
+
+    /// The node's value (set once before publication; immutable after).
+    ///
+    /// # Safety: callers must ensure the node is a data node.
+    pub(crate) unsafe fn value(&self) -> &V {
+        debug_assert!(self.is_data());
+        self.value.assume_init_ref()
+    }
+
+    /// Three-way comparison of this node against a search key, treating
+    /// heads as -inf and the tail as +inf.
+    #[inline]
+    pub(crate) fn cmp_key(&self, k: &K) -> CmpOrdering
+    where
+        K: Ord,
+    {
+        match self.kind {
+            NodeKind::Head => CmpOrdering::Less,
+            NodeKind::Tail => CmpOrdering::Greater,
+            NodeKind::Data => unsafe { self.key().cmp(k) },
+        }
+    }
+
+    /// Recorded load of `next[level]`: counts one shared-node read by `ctx`
+    /// against this node's owner (plus the cache simulation, if attached).
+    #[inline]
+    pub(crate) fn load_next(&self, level: usize, ctx: &ThreadCtx) -> TagPtr<Node<K, V>> {
+        if ctx.is_recording() {
+            ctx.record_read(self.owner, self.next[level].addr());
+        }
+        self.next[level].load()
+    }
+
+    /// Unrecorded load, for a thread touching its own in-flight node (the
+    /// paper excludes such accesses from the instrumentation).
+    #[inline]
+    pub(crate) fn load_next_raw(&self, level: usize) -> TagPtr<Node<K, V>> {
+        self.next[level].load()
+    }
+
+    /// Recorded maintenance CAS on `next[level]`.
+    #[inline]
+    pub(crate) fn cas_next(
+        &self,
+        level: usize,
+        current: TagPtr<Node<K, V>>,
+        new: TagPtr<Node<K, V>>,
+        ctx: &ThreadCtx,
+    ) -> Result<(), TagPtr<Node<K, V>>> {
+        let r = self.next[level].compare_exchange(current, new);
+        if ctx.is_recording() {
+            ctx.record_cas(self.owner, self.next[level].addr(), r.is_ok());
+        }
+        r
+    }
+
+    /// Unrecorded CAS, for initializing the thread's own in-flight node.
+    #[inline]
+    pub(crate) fn cas_next_raw(
+        &self,
+        level: usize,
+        current: TagPtr<Node<K, V>>,
+        new: TagPtr<Node<K, V>>,
+    ) -> Result<(), TagPtr<Node<K, V>>> {
+        self.next[level].compare_exchange(current, new)
+    }
+
+    /// Whether this node's level-`level` reference is marked.
+    #[inline]
+    pub(crate) fn is_marked(&self, level: usize) -> bool {
+        self.next[level].load().marked()
+    }
+
+    /// Whether the node has been linked at all its levels (lazy protocol).
+    #[inline]
+    pub(crate) fn is_inserted(&self) -> bool {
+        self.inserted.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_inserted(&self) {
+        self.inserted.store(true, Ordering::Release);
+    }
+}
+
+impl<K, V> Drop for Node<K, V> {
+    fn drop(&mut self) {
+        if self.kind == NodeKind::Data {
+            unsafe {
+                self.key.assume_init_drop();
+                self.value.assume_init_drop();
+            }
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for Node<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("kind", &self.kind)
+            .field("mvec", &self.mvec)
+            .field("owner", &self.owner)
+            .field("top_level", &self.top_level)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_node_fields() {
+        let n: Node<u64, u64> = Node::new_data(42, 7, 0b101, 3, 2, 99);
+        assert!(n.is_data());
+        assert_eq!(unsafe { *n.key() }, 42);
+        assert_eq!(unsafe { *n.value() }, 7);
+        assert_eq!(n.mvec, 0b101);
+        assert_eq!(n.owner, 3);
+        assert_eq!(n.top_level, 2);
+        assert_eq!(n.alloc_ts, 99);
+        assert!(!n.is_inserted());
+        n.set_inserted();
+        assert!(n.is_inserted());
+    }
+
+    #[test]
+    fn sentinels_compare_as_infinities() {
+        let h: Node<u64, ()> = Node::new_head(3, 0b11);
+        let t: Node<u64, ()> = Node::new_tail();
+        assert_eq!(h.cmp_key(&0), CmpOrdering::Less);
+        assert_eq!(t.cmp_key(&u64::MAX), CmpOrdering::Greater);
+        assert!(h.is_head());
+        assert!(t.is_tail());
+    }
+
+    #[test]
+    fn data_cmp() {
+        let n: Node<u64, ()> = Node::new_data(10, (), 0, 0, 0, 0);
+        assert_eq!(n.cmp_key(&5), CmpOrdering::Greater);
+        assert_eq!(n.cmp_key(&10), CmpOrdering::Equal);
+        assert_eq!(n.cmp_key(&15), CmpOrdering::Less);
+    }
+
+    #[test]
+    fn drop_runs_for_data_only() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Clone)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        impl PartialEq for D {
+            fn eq(&self, _: &Self) -> bool {
+                true
+            }
+        }
+        impl Eq for D {}
+        impl PartialOrd for D {
+            fn partial_cmp(&self, o: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for D {
+            fn cmp(&self, _: &Self) -> CmpOrdering {
+                CmpOrdering::Equal
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        drop(Node::new_data(D, D, 0, 0, 0, 0));
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+        DROPS.store(0, Ordering::SeqCst);
+        drop(Node::<D, D>::new_head(0, 0));
+        drop(Node::<D, D>::new_tail());
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn node_is_sufficiently_aligned_for_tags() {
+        assert!(std::mem::align_of::<Node<u8, u8>>() >= 4);
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-thread recording context and the shared statistics sink.
+
+use crate::matrix::AccessMatrix;
+use cache_sim::{Hierarchy, MissCounts};
+use crossbeam_utils::CachePadded;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-thread scalar counters (single-writer; relaxed).
+#[derive(Debug, Default)]
+struct ThreadCounters {
+    ops: AtomicU64,
+    cas_attempts: AtomicU64,
+    cas_failures: AtomicU64,
+    traversed: AtomicU64,
+    searches: AtomicU64,
+}
+
+/// A read-only snapshot of one thread's scalar counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadCounterSnapshot {
+    /// Completed high-level operations (insert/remove/contains).
+    pub ops: u64,
+    /// Maintenance CAS attempts (excluding initialization of the thread's
+    /// own in-flight node).
+    pub cas_attempts: u64,
+    /// Failed maintenance CAS attempts.
+    pub cas_failures: u64,
+    /// Shared nodes visited by searches.
+    pub traversed: u64,
+    /// Number of shared-structure searches performed.
+    pub searches: u64,
+}
+
+/// Shared statistics sink for one experiment: thread-pair matrices plus
+/// per-thread counters. Create one per structure-under-test, hand an
+/// [`ThreadCtx::recording`] context to each worker thread, then query the
+/// aggregate after the run.
+#[derive(Debug)]
+pub struct AccessStats {
+    reads: AccessMatrix,
+    cas: AccessMatrix,
+    counters: Vec<CachePadded<ThreadCounters>>,
+}
+
+impl AccessStats {
+    /// Creates a sink for `threads` worker threads.
+    pub fn new(threads: usize) -> Arc<Self> {
+        assert!(threads > 0);
+        Arc::new(Self {
+            reads: AccessMatrix::new(threads),
+            cas: AccessMatrix::new(threads),
+            counters: (0..threads).map(|_| CachePadded::default()).collect(),
+        })
+    }
+
+    /// The read heatmap (Figs. 14–17).
+    pub fn reads(&self) -> &AccessMatrix {
+        &self.reads
+    }
+
+    /// The maintenance-CAS heatmap (Figs. 6–9).
+    pub fn cas(&self) -> &AccessMatrix {
+        &self.cas
+    }
+
+    /// Snapshot of one thread's counters.
+    pub fn thread(&self, id: usize) -> ThreadCounterSnapshot {
+        let c = &self.counters[id];
+        ThreadCounterSnapshot {
+            ops: c.ops.load(Ordering::Relaxed),
+            cas_attempts: c.cas_attempts.load(Ordering::Relaxed),
+            cas_failures: c.cas_failures.load(Ordering::Relaxed),
+            traversed: c.traversed.load(Ordering::Relaxed),
+            searches: c.searches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sum of all thread snapshots.
+    pub fn totals(&self) -> ThreadCounterSnapshot {
+        let mut t = ThreadCounterSnapshot::default();
+        for id in 0..self.counters.len() {
+            let s = self.thread(id);
+            t.ops += s.ops;
+            t.cas_attempts += s.cas_attempts;
+            t.cas_failures += s.cas_failures;
+            t.traversed += s.traversed;
+            t.searches += s.searches;
+        }
+        t
+    }
+
+    /// Number of threads this sink was sized for.
+    pub fn threads(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+/// The per-thread context threaded through every data-structure operation.
+///
+/// `ThreadCtx` carries the dense benchmark thread id (which doubles as the
+/// NUMA-ownership tag for nodes the thread allocates) and the optional
+/// recording sinks. All `record_*` methods are no-ops (a single predictable
+/// branch) when constructed with [`ThreadCtx::plain`].
+#[derive(Debug)]
+pub struct ThreadCtx {
+    id: u16,
+    stats: Option<Arc<AccessStats>>,
+    cache: Option<RefCell<Hierarchy>>,
+    chaos: Option<Chaos>,
+}
+
+/// Schedule-fuzzing state: yields the OS thread with probability
+/// `1/one_in` at every instrumented shared-memory access, multiplying the
+/// interleavings an oversubscribed stress test explores.
+#[derive(Debug)]
+struct Chaos {
+    state: Cell<u64>,
+    one_in: u32,
+}
+
+impl Chaos {
+    #[inline]
+    fn maybe_yield(&self) {
+        let mut x = self.state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.set(x);
+        if x.is_multiple_of(self.one_in as u64) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl ThreadCtx {
+    /// A non-recording context for thread `id` (throughput runs).
+    pub fn plain(id: u16) -> Self {
+        Self {
+            id,
+            stats: None,
+            cache: None,
+            chaos: None,
+        }
+    }
+
+    /// A recording context feeding `stats` (heatmaps / Table 1).
+    pub fn recording(id: u16, stats: Arc<AccessStats>) -> Self {
+        Self {
+            id,
+            stats: Some(stats),
+            cache: None,
+            chaos: None,
+        }
+    }
+
+    /// A schedule-fuzzing context: yields the OS thread with probability
+    /// `1/one_in` at every shared-node access, forcing preemption at the
+    /// exact linearization-sensitive points. For stress tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_in` is zero.
+    pub fn chaos(id: u16, seed: u64, one_in: u32) -> Self {
+        assert!(one_in > 0);
+        Self {
+            id,
+            stats: None,
+            cache: None,
+            chaos: Some(Chaos {
+                state: Cell::new(seed | 1),
+                one_in,
+            }),
+        }
+    }
+
+    /// Attaches a per-thread cache-hierarchy simulation (Table 2).
+    pub fn with_cache_sim(mut self, hierarchy: Hierarchy) -> Self {
+        self.cache = Some(RefCell::new(hierarchy));
+        self
+    }
+
+    /// The dense benchmark thread id.
+    #[inline]
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Records a read of a shared-node word owned by thread `owner` at
+    /// address `addr`.
+    #[inline]
+    pub fn record_read(&self, owner: u16, addr: usize) {
+        if let Some(s) = &self.stats {
+            s.reads.record(self.id, owner);
+        }
+        if let Some(c) = &self.cache {
+            c.borrow_mut().access(addr as u64, false);
+        }
+        if let Some(c) = &self.chaos {
+            c.maybe_yield();
+        }
+    }
+
+    /// Records a maintenance CAS on a word owned by `owner`.
+    #[inline]
+    pub fn record_cas(&self, owner: u16, addr: usize, success: bool) {
+        if let Some(s) = &self.stats {
+            s.cas.record(self.id, owner);
+            let c = &s.counters[self.id as usize];
+            c.cas_attempts.fetch_add(1, Ordering::Relaxed);
+            if !success {
+                c.cas_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(c) = &self.cache {
+            c.borrow_mut().access(addr as u64, true);
+        }
+        if let Some(c) = &self.chaos {
+            c.maybe_yield();
+        }
+    }
+
+    /// Records the completion of one high-level operation.
+    #[inline]
+    pub fn record_op(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .ops
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a finished shared-structure search that visited `nodes`
+    /// shared nodes (Fig. 5).
+    #[inline]
+    pub fn record_search(&self, nodes: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.searches.fetch_add(1, Ordering::Relaxed);
+            c.traversed.fetch_add(nodes, Ordering::Relaxed);
+        }
+    }
+
+    /// True when any recording sink is attached (used by structures to skip
+    /// assembling record arguments on the fast path).
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.stats.is_some() || self.cache.is_some() || self.chaos.is_some()
+    }
+
+    /// The cache-simulation counters accumulated by this thread, if a
+    /// hierarchy was attached.
+    pub fn cache_counts(&self) -> Option<MissCounts> {
+        self.cache.as_ref().map(|c| c.borrow().miss_counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ctx_records_nothing_and_does_not_crash() {
+        let ctx = ThreadCtx::plain(3);
+        ctx.record_read(1, 0x10);
+        ctx.record_cas(1, 0x10, false);
+        ctx.record_op();
+        ctx.record_search(5);
+        assert_eq!(ctx.id(), 3);
+        assert!(!ctx.is_recording());
+        assert!(ctx.cache_counts().is_none());
+    }
+
+    #[test]
+    fn recording_ctx_feeds_matrices_and_counters() {
+        let stats = AccessStats::new(4);
+        let ctx = ThreadCtx::recording(1, stats.clone());
+        ctx.record_read(2, 0x40);
+        ctx.record_cas(3, 0x80, true);
+        ctx.record_cas(3, 0x80, false);
+        ctx.record_op();
+        ctx.record_search(7);
+        assert_eq!(stats.reads().get(1, 2), 1);
+        assert_eq!(stats.cas().get(1, 3), 2);
+        let t = stats.thread(1);
+        assert_eq!(t.ops, 1);
+        assert_eq!(t.cas_attempts, 2);
+        assert_eq!(t.cas_failures, 1);
+        assert_eq!(t.traversed, 7);
+        assert_eq!(t.searches, 1);
+        assert_eq!(stats.totals().cas_attempts, 2);
+    }
+
+    #[test]
+    fn chaos_ctx_is_recording_and_does_not_crash() {
+        let ctx = ThreadCtx::chaos(2, 42, 2);
+        assert!(ctx.is_recording());
+        for i in 0..100 {
+            ctx.record_read(0, i);
+            ctx.record_cas(0, i, i % 2 == 0);
+        }
+        assert_eq!(ctx.id(), 2);
+        assert!(ctx.cache_counts().is_none());
+    }
+
+    #[test]
+    fn cache_sim_attachment_counts_accesses() {
+        let ctx = ThreadCtx::plain(0).with_cache_sim(Hierarchy::xeon_8275cl());
+        ctx.record_read(0, 0x1000);
+        ctx.record_read(0, 0x1000);
+        ctx.record_cas(0, 0x2000, true);
+        let m = ctx.cache_counts().unwrap();
+        assert_eq!(m.accesses, 3);
+        assert_eq!(m.l1, 2); // two distinct lines, each cold-missed once
+    }
+}

@@ -1,0 +1,243 @@
+//! Log-bucketed latency histograms.
+//!
+//! HDR-style: values are bucketed by (exponent, 1/8th-of-octave), giving
+//! ≤ 12.5% relative error per bucket over the full `u64` range with a
+//! fixed 512-slot footprint. Single-writer per thread; merge for
+//! aggregation.
+
+/// Sub-buckets per octave (power of two).
+const SUBS: usize = 8;
+const SUB_SHIFT: u32 = 3;
+/// Total buckets: 64 octaves x 8 sub-buckets.
+const BUCKETS: usize = 64 * SUBS;
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use instrument::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((400..=600).contains(&p50), "{p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value < SUBS as u64 {
+        return value as usize; // exact for tiny values
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - SUB_SHIFT)) & (SUBS as u64 - 1)) as usize;
+    (exp as usize) * SUBS + sub
+}
+
+/// Representative (upper-bound) value of a bucket.
+fn bucket_value(bucket: usize) -> u64 {
+    if bucket < SUBS {
+        return bucket as u64;
+    }
+    let exp = (bucket / SUBS) as u32;
+    let sub = (bucket % SUBS) as u64;
+    // Upper edge of the sub-bucket.
+    (1u64 << exp) + ((sub + 1) << (exp - SUB_SHIFT)) - 1
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate value at percentile `p` (0..=100); 0 when empty. The
+    /// result is the upper edge of the bucket containing the rank, so it
+    /// overestimates by at most one sub-bucket (≤ 12.5%).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_value(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds all of `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+
+    /// Arithmetic mean estimated from bucket representatives.
+    pub fn approx_mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| n as f64 * bucket_value(b) as f64)
+            .sum();
+        sum / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.approx_mean(), 0.0);
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 3);
+        assert_eq!(h.percentile(100.0), 3);
+    }
+
+    #[test]
+    fn uniform_percentiles_are_close() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let want = (p / 100.0 * 100_000.0) as u64;
+            let got = h.percentile(p);
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.13, "p{p}: got {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            c.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.min(), c.min());
+        for p in [25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+    }
+
+    proptest! {
+        /// Percentile is monotone and bounded by min/max.
+        #[test]
+        fn percentile_monotone_and_bounded(values in proptest::collection::vec(0u64..1 << 40, 1..300)) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut last = 0;
+            for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+                let v = h.percentile(p);
+                prop_assert!(v >= last, "non-monotone at p{p}");
+                prop_assert!(v <= h.max());
+                last = v;
+            }
+            // p100 covers the maximum exactly.
+            prop_assert_eq!(h.percentile(100.0), h.max());
+        }
+
+        /// Relative bucket error bound: a single sample's p100 is within
+        /// 12.5% of the sample.
+        #[test]
+        fn single_sample_accuracy(v in 8u64..1 << 50) {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            let got = h.percentile(100.0);
+            prop_assert!(got >= v, "upper-edge semantics (got {}, v {})", got, v);
+            prop_assert!((got - v) as f64 <= v as f64 * 0.125 + 1.0);
+        }
+    }
+}

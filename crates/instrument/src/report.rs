@@ -1,0 +1,252 @@
+//! Locality summaries and heatmap reporting.
+//!
+//! Reproduces the derived quantities of the paper's Table 1 (local/remote
+//! reads per op, local/remote maintenance CAS per op, CAS success rate) and
+//! the CSV form of the heatmap figures.
+
+use crate::ctx::AccessStats;
+
+/// The row of Table 1 for one structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalitySummary {
+    /// Local shared-node reads per completed operation.
+    pub local_reads_per_op: f64,
+    /// Remote shared-node reads per completed operation.
+    pub remote_reads_per_op: f64,
+    /// Local maintenance CAS per completed operation.
+    pub local_cas_per_op: f64,
+    /// Remote maintenance CAS per completed operation.
+    pub remote_cas_per_op: f64,
+    /// Fraction of maintenance CAS attempts that succeeded.
+    pub cas_success_rate: f64,
+    /// Completed operations the averages are over.
+    pub ops: u64,
+}
+
+impl LocalitySummary {
+    /// NUMA locality of reads: local / (local + remote).
+    pub fn read_locality(&self) -> f64 {
+        let total = self.local_reads_per_op + self.remote_reads_per_op;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.local_reads_per_op / total
+        }
+    }
+
+    /// NUMA locality of maintenance CAS operations.
+    pub fn cas_locality(&self) -> f64 {
+        let total = self.local_cas_per_op + self.remote_cas_per_op;
+        if total == 0.0 {
+            1.0
+        } else {
+            self.local_cas_per_op / total
+        }
+    }
+}
+
+/// Computes the Table 1 row from a stats sink and the thread → NUMA-node
+/// assignment the run used.
+///
+/// # Panics
+///
+/// Panics if `numa_of` is shorter than the number of instrumented threads.
+pub fn locality_summary(stats: &AccessStats, numa_of: &[usize]) -> LocalitySummary {
+    let totals = stats.totals();
+    let ops = totals.ops.max(1);
+    let (lr, rr) = stats.reads().split_by_locality(numa_of);
+    let (lc, rc) = stats.cas().split_by_locality(numa_of);
+    let success = if totals.cas_attempts == 0 {
+        1.0
+    } else {
+        (totals.cas_attempts - totals.cas_failures) as f64 / totals.cas_attempts as f64
+    };
+    LocalitySummary {
+        local_reads_per_op: lr as f64 / ops as f64,
+        remote_reads_per_op: rr as f64 / ops as f64,
+        local_cas_per_op: lc as f64 / ops as f64,
+        remote_cas_per_op: rc as f64 / ops as f64,
+        cas_success_rate: success,
+        ops: totals.ops,
+    }
+}
+
+/// Average shared nodes visited per search (Fig. 5).
+pub fn nodes_per_search(stats: &AccessStats) -> f64 {
+    let t = stats.totals();
+    if t.searches == 0 {
+        0.0
+    } else {
+        t.traversed as f64 / t.searches as f64
+    }
+}
+
+/// Reduction in remote accesses grouped by NUMA distance: returns, for each
+/// distinct (node_i, node_j) pair, the total access count. Used to verify
+/// the paper's qualitative claim that larger NUMA distance sees the larger
+/// reduction.
+pub fn accesses_by_node_pair(
+    matrix: &crate::AccessMatrix,
+    numa_of: &[usize],
+    num_nodes: usize,
+) -> Vec<Vec<u64>> {
+    let mut out = vec![vec![0u64; num_nodes]; num_nodes];
+    for i in 0..matrix.dim() {
+        for j in 0..matrix.dim() {
+            out[numa_of[i]][numa_of[j]] += matrix.get(i, j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ThreadCtx;
+
+    #[test]
+    fn summary_math() {
+        let stats = AccessStats::new(2);
+        let numa = vec![0, 1];
+        let c0 = ThreadCtx::recording(0, stats.clone());
+        let c1 = ThreadCtx::recording(1, stats.clone());
+        // Thread 0: 2 ops, reads 3 local + 1 remote, 1 successful local CAS.
+        c0.record_op();
+        c0.record_op();
+        c0.record_read(0, 0);
+        c0.record_read(0, 0);
+        c0.record_read(0, 0);
+        c0.record_read(1, 0);
+        c0.record_cas(0, 0, true);
+        // Thread 1: 2 ops, 1 failed remote CAS.
+        c1.record_op();
+        c1.record_op();
+        c1.record_cas(0, 0, false);
+        let s = locality_summary(&stats, &numa);
+        assert_eq!(s.ops, 4);
+        assert!((s.local_reads_per_op - 0.75).abs() < 1e-9);
+        assert!((s.remote_reads_per_op - 0.25).abs() < 1e-9);
+        assert!((s.local_cas_per_op - 0.25).abs() < 1e-9);
+        assert!((s.remote_cas_per_op - 0.25).abs() < 1e-9);
+        assert!((s.cas_success_rate - 0.5).abs() < 1e-9);
+        assert!((s.read_locality() - 0.75).abs() < 1e-9);
+        assert!((s.cas_locality() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodes_per_search_math() {
+        let stats = AccessStats::new(1);
+        let c = ThreadCtx::recording(0, stats.clone());
+        c.record_search(10);
+        c.record_search(20);
+        assert!((nodes_per_search(&stats) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_pair_grouping() {
+        let stats = AccessStats::new(4);
+        let numa = vec![0, 0, 1, 1];
+        let c0 = ThreadCtx::recording(0, stats.clone());
+        c0.record_read(3, 0); // node0 -> node1
+        c0.record_read(1, 0); // node0 -> node0
+        let grouped = accesses_by_node_pair(stats.reads(), &numa, 2);
+        assert_eq!(grouped[0][1], 1);
+        assert_eq!(grouped[0][0], 1);
+        assert_eq!(grouped[1][0], 0);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let stats = AccessStats::new(2);
+        let s = locality_summary(&stats, &[0, 1]);
+        assert_eq!(s.cas_success_rate, 1.0);
+        assert_eq!(s.read_locality(), 1.0);
+        assert_eq!(nodes_per_search(&stats), 0.0);
+    }
+}
+
+/// Renders a matrix as a terminal heatmap: one character per cell, shaded
+/// by magnitude relative to the matrix maximum (log scale, since CAS
+/// counts span orders of magnitude). For matrices larger than `max_dim`,
+/// cells are aggregated into blocks first so the render stays readable.
+pub fn render_ascii_heatmap(matrix: &crate::AccessMatrix, max_dim: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let n = matrix.dim();
+    let max_dim = max_dim.max(1);
+    let block = n.div_ceil(max_dim);
+    let dim = n.div_ceil(block);
+    // Aggregate into blocks.
+    let mut cells = vec![vec![0u64; dim]; dim];
+    for i in 0..n {
+        for j in 0..n {
+            cells[i / block][j / block] += matrix.get(i, j);
+        }
+    }
+    let max = cells
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    if max == 0 {
+        out.push_str("(empty heatmap)\n");
+        return out;
+    }
+    let log_max = (max as f64).ln();
+    for row in &cells {
+        for &v in row {
+            let shade = if v == 0 {
+                0
+            } else {
+                // Log-scaled into 1..=9 so any activity is visible.
+                let frac = (v as f64).ln().max(0.0) / log_max.max(1e-9);
+                1 + (frac * (SHADES.len() - 2) as f64).round() as usize
+            };
+            out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::AccessMatrix;
+
+    #[test]
+    fn empty_matrix_renders_placeholder() {
+        let m = AccessMatrix::new(4);
+        assert!(render_ascii_heatmap(&m, 8).contains("empty"));
+    }
+
+    #[test]
+    fn diagonal_pattern_is_visible() {
+        let m = AccessMatrix::new(4);
+        for i in 0..4u16 {
+            for _ in 0..1000 {
+                m.record(i, i);
+            }
+            m.record(i, (i + 1) % 4); // faint off-diagonal
+        }
+        let art = render_ascii_heatmap(&m, 4);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            let diag = row.as_bytes()[i];
+            assert_eq!(diag, b'@', "diagonal cell {i} must be darkest: {art}");
+        }
+    }
+
+    #[test]
+    fn large_matrices_are_blocked() {
+        let m = AccessMatrix::new(96);
+        for i in 0..96u16 {
+            m.record(i, i);
+        }
+        let art = render_ascii_heatmap(&m, 24);
+        assert_eq!(art.lines().count(), 24);
+        assert!(art.lines().all(|l| l.len() == 24));
+    }
+}

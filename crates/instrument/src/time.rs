@@ -1,0 +1,60 @@
+//! Cycle timestamps for the lazy structure's commission period.
+//!
+//! The paper expresses the commission period in cycles (`350000 * T`). On
+//! x86-64 we read the TSC directly; elsewhere we fall back to a monotonic
+//! nanosecond clock (close enough on ~GHz machines — the commission period
+//! is a heuristic, not a correctness parameter).
+
+use std::time::Instant;
+
+#[cfg(not(target_arch = "x86_64"))]
+use std::sync::OnceLock;
+
+/// Reads a monotonically-increasing timestamp in (approximately) CPU cycles.
+#[inline]
+pub fn cycles() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Measures the approximate TSC frequency in cycles per second by spinning
+/// for `window` wall time. Used only for pretty-printing commission periods.
+pub fn estimate_cycles_per_second(window: std::time::Duration) -> f64 {
+    let t0 = Instant::now();
+    let c0 = cycles();
+    while t0.elapsed() < window {
+        std::hint::spin_loop();
+    }
+    let dc = cycles().wrapping_sub(c0) as f64;
+    dc / t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_is_monotonic_enough() {
+        let a = cycles();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = cycles();
+        assert!(b >= a, "tsc went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn frequency_estimate_is_positive() {
+        let f = estimate_cycles_per_second(std::time::Duration::from_millis(5));
+        assert!(f > 0.0);
+    }
+}

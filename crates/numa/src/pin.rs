@@ -1,0 +1,57 @@
+//! Thread pinning via `sched_setaffinity`.
+
+/// Pins the current thread to the given OS CPU.
+///
+/// Returns `true` on success. On non-Linux platforms, or when the CPU does
+/// not exist in the current cpuset (common in containers), this returns
+/// `false` and the thread keeps its previous affinity — benchmarks then run
+/// unpinned, which degrades locality but not correctness.
+pub fn pin_to_cpu(cpu_id: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        unsafe {
+            let mut set: libc::cpu_set_t = std::mem::zeroed();
+            libc::CPU_ZERO(&mut set);
+            if cpu_id >= libc::CPU_SETSIZE as usize {
+                return false;
+            }
+            libc::CPU_SET(cpu_id, &mut set);
+            libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = cpu_id;
+        false
+    }
+}
+
+/// Pins the current thread according to a placement assignment, returning
+/// whether pinning took effect.
+pub fn pin_current_thread(assignment: &crate::Assignment) -> bool {
+    pin_to_cpu(assignment.cpu_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_to_existing_cpu() {
+        // CPU 0 exists on any machine; in restricted cpusets this may still
+        // fail, so only assert that the call does not crash and that, if it
+        // succeeded, we are indeed on CPU 0.
+        let ok = pin_to_cpu(0);
+        #[cfg(target_os = "linux")]
+        if ok {
+            let cpu = unsafe { libc::sched_getcpu() };
+            assert_eq!(cpu, 0);
+        }
+        let _ = ok;
+    }
+
+    #[test]
+    fn pin_to_absurd_cpu_fails() {
+        assert!(!pin_to_cpu(1 << 20));
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-operation latency trials.
+//!
+//! The paper reports throughput; this extension measures the latency
+//! distribution of the same Synchrobench-style workload (TSC-timestamped
+//! per op, log-bucketed histograms per operation class), which is where
+//! the lazy variant's deferred work would show up as tail effects.
+
+use crate::workload::Workload;
+use instrument::time::cycles;
+use instrument::{LogHistogram, ThreadCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skipgraph::{ConcurrentMap, MapHandle};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Latency distributions (in cycles) of one trial, per operation class.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Insert attempts (successful or not).
+    pub insert: LogHistogram,
+    /// Remove attempts.
+    pub remove: LogHistogram,
+    /// Contains.
+    pub contains: LogHistogram,
+}
+
+impl LatencySummary {
+    /// All three classes merged.
+    pub fn overall(&self) -> LogHistogram {
+        let mut h = self.insert.clone();
+        h.merge(&self.remove);
+        h.merge(&self.contains);
+        h
+    }
+}
+
+/// Runs the workload once, timestamping every operation. Roughly ~60
+/// cycles of rdtsc overhead per op are included in the measurements.
+pub fn run_latency_trial<M: ConcurrentMap<u64, u64>>(
+    map: &M,
+    workload: &Workload,
+) -> LatencySummary {
+    assert!(workload.threads > 0 && workload.key_space > 1);
+    let preload_target = (workload.key_space as f64 * workload.preload_fraction) as u64;
+    let preloaded = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(workload.threads + 1);
+
+    let partials: Vec<LatencySummary> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..workload.threads as u16)
+            .map(|t| {
+                let map = &map;
+                let stop = &stop;
+                let preloaded = &preloaded;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut rng =
+                        SmallRng::seed_from_u64(workload.seed ^ ((t as u64 + 1) * 0x51CA));
+                    let mut handle = map.pin(ThreadCtx::plain(t));
+                    while preloaded.load(Ordering::Relaxed) < preload_target {
+                        let k = rng.gen_range(0..workload.key_space);
+                        if handle.insert(k, k) {
+                            preloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    barrier.wait();
+                    let mut out = LatencySummary::default();
+                    let mut last_inserted: Option<u64> = None;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..16 {
+                            let p: f64 = rng.gen();
+                            if p < workload.update_ratio {
+                                match last_inserted.take() {
+                                    None => {
+                                        let k = rng.gen_range(0..workload.key_space);
+                                        let t0 = cycles();
+                                        let ok = handle.insert(k, k);
+                                        out.insert.record(cycles().wrapping_sub(t0));
+                                        if ok {
+                                            last_inserted = Some(k);
+                                        }
+                                    }
+                                    Some(k) => {
+                                        let t0 = cycles();
+                                        let _ = handle.remove(&k);
+                                        out.remove.record(cycles().wrapping_sub(t0));
+                                    }
+                                }
+                            } else {
+                                let k = rng.gen_range(0..workload.key_space);
+                                let t0 = cycles();
+                                let _ = handle.contains(&k);
+                                out.contains.record(cycles().wrapping_sub(t0));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        while t0.elapsed() < workload.duration {
+            std::thread::sleep(Duration::from_millis(1).min(workload.duration));
+        }
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let mut total = LatencySummary::default();
+    for p in partials {
+        total.insert.merge(&p.insert);
+        total.remove.merge(&p.remove);
+        total.contains.merge(&p.contains);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipgraph::{GraphConfig, LayeredMap};
+
+    #[test]
+    fn latency_trial_collects_histograms() {
+        let map: LayeredMap<u64, u64> =
+            LayeredMap::new(GraphConfig::new(2).lazy(true).chunk_capacity(4096));
+        let w = Workload::new(2, 1 << 8)
+            .duration(Duration::from_millis(30))
+            .no_pin();
+        let s = run_latency_trial(&map, &w);
+        assert!(s.insert.count() > 0);
+        assert!(s.remove.count() > 0);
+        assert!(s.contains.count() > 0);
+        let overall = s.overall();
+        assert_eq!(
+            overall.count(),
+            s.insert.count() + s.remove.count() + s.contains.count()
+        );
+        // Percentiles are ordered and nonzero.
+        let p50 = overall.percentile(50.0);
+        let p99 = overall.percentile(99.0);
+        assert!(p50 > 0);
+        assert!(p99 >= p50);
+    }
+}

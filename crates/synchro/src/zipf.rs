@@ -1,0 +1,165 @@
+//! A Zipfian key sampler.
+//!
+//! The paper's evaluation draws keys uniformly; real key-value workloads
+//! are usually skewed. This sampler extends the harness with
+//! Zipf-distributed keys (rejection-inversion sampling, Hörmann & Derflinger
+//! 1996 — the same approach as YCSB's generator), so the skew sensitivity
+//! of the structures can be measured (`benches/zipf_throughput.rs`).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over `0..n` (rank 0 is the most popular key).
+///
+/// # Example
+///
+/// ```
+/// use synchro::Zipf;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let z = Zipf::new(1000, 0.99);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion method.
+    h_x1: f64,
+    h_half: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with exponent `alpha` (> 0; YCSB uses
+    /// 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha <= 0` or `alpha == 1` is fine but
+    /// non-finite alphas are rejected.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        let h = |x: f64| -> f64 {
+            if (alpha - 1.0).abs() < 1e-12 {
+                (x).ln()
+            } else {
+                (x).powf(1.0 - alpha) / (1.0 - alpha)
+            }
+        };
+        let h_x1 = h(1.5) - 1.0f64.powf(-alpha);
+        let h_half = h(0.5);
+        let s = 2.0 - Self::h_inv_static(alpha, h(2.5) - 2.0f64.powf(-alpha));
+        Self {
+            n,
+            alpha,
+            h_x1,
+            h_half,
+            s,
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (self.alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - self.alpha) / (1.0 - self.alpha)
+        }
+    }
+
+    fn h_inv_static(alpha: f64, x: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (x * (1.0 - alpha)).powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_static(self.alpha, x)
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let n = self.n as f64;
+        let h_n = self.h(n + 0.5);
+        loop {
+            let u: f64 = rng.gen::<f64>() * (h_n - self.h_half) + self.h_half;
+            let x = self.h_inv(u);
+            let k = x.clamp(1.0, n).round();
+            if k - x <= self.s || u >= self.h(k + 0.5) - (k).powf(-self.alpha) + self.h_x1 {
+                return (k as u64 - 1).min(self.n - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn frequencies(n: u64, alpha: f64, samples: usize) -> Vec<u64> {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let counts = frequencies(1000, 0.99, 100_000);
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must dominate");
+        // Head heaviness: top-10 ranks take a large share under α≈1.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head > 100_000 / 4, "top-10 share too small: {head}");
+    }
+
+    #[test]
+    fn frequency_ratio_tracks_power_law() {
+        // f(1)/f(2) ≈ 2^alpha for large samples.
+        let counts = frequencies(100, 1.0, 400_000);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.6..2.6).contains(&ratio), "f(1)/f(2) = {ratio}");
+    }
+
+    #[test]
+    fn small_alpha_is_flatter() {
+        let skewed = frequencies(100, 1.2, 100_000);
+        let flat = frequencies(100, 0.2, 100_000);
+        let skew_head = skewed[0] as f64 / 100_000.0;
+        let flat_head = flat[0] as f64 / 100_000.0;
+        assert!(skew_head > flat_head * 3.0, "{skew_head} vs {flat_head}");
+    }
+
+    #[test]
+    fn n_one_always_returns_zero() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_keyspace_rejected() {
+        let _ = Zipf::new(0, 0.99);
+    }
+}

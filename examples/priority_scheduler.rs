@@ -1,0 +1,110 @@
+//! A deadline scheduler on the layered priority queue (the paper's
+//! appendix extension): producers enqueue jobs with deadlines, workers pop
+//! the earliest deadline — exactly or with SprayList-style relaxation.
+//!
+//! ```text
+//! cargo run --release --example priority_scheduler
+//! ```
+
+use instrument::ThreadCtx;
+use sg_pqueue::LayeredPriorityQueue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const PRODUCERS: usize = 2;
+const WORKERS: usize = 4;
+const THREADS: usize = PRODUCERS + WORKERS;
+const JOBS_PER_PRODUCER: u64 = 5_000;
+
+fn main() {
+    // Priorities are (deadline << 16) | producer-unique-low-bits, so keys
+    // are unique while ordering by deadline.
+    let pq: LayeredPriorityQueue<u64, u64> = LayeredPriorityQueue::new(THREADS);
+    let produced = AtomicU64::new(0);
+    let executed = AtomicU64::new(0);
+    let inversions = AtomicU64::new(0);
+    let done_producing = AtomicBool::new(false);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS as u16 {
+            let pq = &pq;
+            let produced = &produced;
+            s.spawn(move || {
+                let mut h = pq.register(ThreadCtx::plain(p));
+                let mut state = 0xD15C0 ^ p as u64;
+                for i in 0..JOBS_PER_PRODUCER {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let deadline = state % 100_000;
+                    let key = (deadline << 16) | (p as u64) << 14 | (i & 0x3FFF);
+                    if h.push(key, deadline) {
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for w in 0..WORKERS as u16 {
+            let pq = &pq;
+            let executed = &executed;
+            let inversions = &inversions;
+            let done_producing = &done_producing;
+            s.spawn(move || {
+                let mut h = pq.register(ThreadCtx::plain(PRODUCERS as u16 + w));
+                let relaxed = w % 2 == 1; // half the workers use spray-pops
+                let mut last_deadline = 0u64;
+                loop {
+                    let popped = if relaxed {
+                        h.pop_approx_min(8)
+                    } else {
+                        h.pop_min()
+                    };
+                    match popped {
+                        Some((_, deadline)) => {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                            // Track local priority inversions (expected
+                            // small; nonzero because pops are concurrent
+                            // and half are relaxed).
+                            if deadline < last_deadline {
+                                inversions.fetch_add(1, Ordering::Relaxed);
+                            }
+                            last_deadline = deadline;
+                        }
+                        None => {
+                            if done_producing.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+        // Wait for the producers (the first PRODUCERS spawned threads).
+        while produced.load(Ordering::Relaxed) < (PRODUCERS as u64 * JOBS_PER_PRODUCER) * 95 / 100
+            && t0.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Give workers a moment to drain, then signal completion.
+        std::thread::sleep(Duration::from_millis(100));
+        done_producing.store(true, Ordering::Release);
+    });
+
+    let produced = produced.load(Ordering::Relaxed);
+    let executed = executed.load(Ordering::Relaxed);
+    println!(
+        "produced {produced} jobs, executed {executed}, {} local inversions, {:?} elapsed",
+        inversions.load(Ordering::Relaxed),
+        t0.elapsed()
+    );
+    // Every produced job is eventually executed or still queued.
+    let mut h = pq.register(ThreadCtx::plain(0));
+    let mut remaining = 0u64;
+    while h.pop_min().is_some() {
+        remaining += 1;
+    }
+    println!("drained {remaining} leftover jobs");
+    assert_eq!(executed + remaining, produced, "no job lost or duplicated");
+}

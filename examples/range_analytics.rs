@@ -1,0 +1,101 @@
+//! Mixed OLTP/analytics scenario: transactional threads update an ordered
+//! index through registered handles while an analytics thread — *not* part
+//! of the registered set — runs ordered range scans through a read-only
+//! view (the paper's heterogeneous-workload accommodation).
+//!
+//! ```text
+//! cargo run --release --example range_analytics
+//! ```
+
+use instrument::ThreadCtx;
+use skipgraph::{GraphConfig, LayeredMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const WRITERS: usize = 3;
+const RUN_FOR: Duration = Duration::from_millis(400);
+/// Account balances keyed by account id; each writer owns an id stripe.
+const ACCOUNTS_PER_WRITER: u64 = 2000;
+
+fn main() {
+    let map: LayeredMap<u64, u64> = LayeredMap::new(GraphConfig::new(WRITERS).lazy(true));
+    // Seed the dataset.
+    {
+        let mut h = map.register(ThreadCtx::plain(0));
+        for a in 0..WRITERS as u64 * ACCOUNTS_PER_WRITER {
+            assert!(h.insert(a, 100));
+        }
+    }
+    let stop = AtomicBool::new(false);
+    let churn = AtomicU64::new(0);
+    let scans = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Transactional writers: close and reopen accounts in their stripe.
+        for w in 0..WRITERS as u16 {
+            let map = &map;
+            let stop = &stop;
+            let churn = &churn;
+            s.spawn(move || {
+                let mut h = map.register(ThreadCtx::plain(w));
+                let base = w as u64 * ACCOUNTS_PER_WRITER;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let account = base + (i * 7) % ACCOUNTS_PER_WRITER;
+                    if h.remove(&account) {
+                        // Reopen with an updated balance.
+                        h.insert(account, 100 + i % 50);
+                        churn.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Analytics reader: unregistered thread, read-only view, stripe
+        // sums via range scans.
+        s.spawn(|| {
+            let view = map.read_only(0);
+            while !stop.load(Ordering::Relaxed) {
+                for w in 0..WRITERS as u64 {
+                    let lo = w * ACCOUNTS_PER_WRITER;
+                    let hi = lo + ACCOUNTS_PER_WRITER;
+                    let (count, sum) = view
+                        .range(Bound::Included(&lo), Bound::Excluded(hi))
+                        .fold((0u64, 0u64), |(c, s), (_, v)| (c + 1, s + v));
+                    // Accounts are only ever *replaced* (remove+insert), so
+                    // a scan sees nearly the whole stripe; balances are in
+                    // the configured band.
+                    assert!(count <= ACCOUNTS_PER_WRITER);
+                    assert!(count > ACCOUNTS_PER_WRITER / 2, "stripe {w}: {count}");
+                    assert!(sum >= 100 * count);
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        let t0 = Instant::now();
+        while t0.elapsed() < RUN_FOR {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let ctx = ThreadCtx::plain(0);
+    let stats = map.shared().structure_stats(&ctx);
+    println!(
+        "churned {} accounts, ran {} stripe scans",
+        churn.load(Ordering::Relaxed),
+        scans.load(Ordering::Relaxed)
+    );
+    println!(
+        "final structure: {} live, {} invalid (commission pending), {} marked, \
+         {:.1}% dead weight, {} nodes allocated",
+        stats.live,
+        stats.invalid,
+        stats.marked,
+        100.0 * stats.dead_fraction(),
+        stats.allocated()
+    );
+    assert_eq!(stats.live as u64, WRITERS as u64 * ACCOUNTS_PER_WRITER);
+    map.shared().check_invariants().expect("invariants");
+}

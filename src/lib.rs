@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the layered-skip-graph workspace.
+pub use baselines;
+pub use cache_sim;
+pub use instrument;
+pub use linearize;
+pub use numa;
+pub use sg_pqueue;
+pub use skipgraph;
+pub use synchro;

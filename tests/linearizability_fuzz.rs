@@ -1,0 +1,120 @@
+//! Randomized linearizability fuzzing: proptest generates seeds and
+//! configuration knobs; each case runs a concurrent chaos-scheduled
+//! workload (yield injection at shared-memory accesses) and checks every
+//! per-key history with the Wing & Gong checker.
+//!
+//! Complementary to `tests/linearizability.rs` (fixed seeds, all
+//! structures): here the *schedules* and workload mixes are fuzzed on the
+//! structure variants with the most protocol surface.
+
+use instrument::time::cycles;
+use instrument::ThreadCtx;
+use linearize::{check_keyed_histories, Event, Op};
+use proptest::prelude::*;
+use skipgraph::{ConcurrentMap, GraphConfig, LayeredMap};
+use std::sync::Barrier;
+
+const THREADS: usize = 3;
+
+fn run_case(cfg: GraphConfig, seed: u64, keys: u64, ops: usize, yield_one_in: u32) {
+    let map: LayeredMap<u64, u64> = LayeredMap::new(cfg.chunk_capacity(4096));
+    let barrier = Barrier::new(THREADS);
+    let history: Vec<(u64, Event)> = std::thread::scope(|s| {
+        (0..THREADS as u16)
+            .map(|t| {
+                let map = &map;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let ctx = ThreadCtx::chaos(t, seed ^ ((t as u64) << 8), yield_one_in);
+                    let mut h = map.pin(ctx);
+                    let mut events = Vec::with_capacity(ops);
+                    let mut state = seed ^ ((t as u64 + 1) << 40) | 1;
+                    barrier.wait();
+                    for _ in 0..ops {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let k = state % keys;
+                        let (op, s0, r, e0) = match state % 3 {
+                            0 => {
+                                let s0 = cycles();
+                                let r = h.insert(k, k);
+                                (Op::Insert, s0, r, cycles())
+                            }
+                            1 => {
+                                let s0 = cycles();
+                                let r = h.remove(&k);
+                                (Op::Remove, s0, r, cycles())
+                            }
+                            _ => {
+                                let s0 = cycles();
+                                let r = h.contains(&k);
+                                (Op::Contains, s0, r, cycles())
+                            }
+                        };
+                        events.push((
+                            k,
+                            Event {
+                                op,
+                                result: r,
+                                start: s0,
+                                end: e0,
+                            },
+                        ));
+                    }
+                    events
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    check_keyed_histories(&history).expect("linearizable history");
+    map.shared().check_invariants().expect("invariants");
+}
+
+proptest! {
+    // Each case spawns threads; keep the count modest for CI time.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fuzz_lazy_layered(
+        seed in any::<u64>(),
+        keys in 8u64..64,
+        yield_one_in in 2u32..10,
+        commission in prop_oneof![Just(0u64), Just(1_000u64), Just(u64::MAX)],
+    ) {
+        run_case(
+            GraphConfig::new(THREADS).lazy(true).commission_cycles(commission),
+            seed,
+            keys,
+            120,
+            yield_one_in,
+        );
+    }
+
+    #[test]
+    fn fuzz_eager_layered(
+        seed in any::<u64>(),
+        keys in 8u64..64,
+        yield_one_in in 2u32..10,
+    ) {
+        run_case(GraphConfig::new(THREADS), seed, keys, 120, yield_one_in);
+    }
+
+    #[test]
+    fn fuzz_sparse_variants(
+        seed in any::<u64>(),
+        keys in 8u64..48,
+        lazy in any::<bool>(),
+    ) {
+        run_case(
+            GraphConfig::new(THREADS).sparse(true).lazy(lazy),
+            seed,
+            keys,
+            100,
+            4,
+        );
+    }
+}
