@@ -29,13 +29,25 @@ use crate::mvec::{list_suffix, membership_vectors};
 use crate::node::{Node, MAX_HEIGHT};
 use crate::params::GraphConfig;
 use crate::sync::TagPtr;
-use instrument::time::cycles;
 use instrument::ThreadCtx;
 use numa::arena::Arena;
 use std::cmp::Ordering as CmpOrdering;
 use std::ptr::NonNull;
 
 pub(crate) type NodePtr<K, V> = *mut Node<K, V>;
+
+/// Commission-period time source. Under the deterministic scheduler the
+/// TSC would make `check_retire` depend on wall-clock time and break
+/// replay, so an active scheduled thread uses its logical step count
+/// instead (monotonic, and a pure function of the schedule).
+#[inline]
+fn cycles() -> u64 {
+    #[cfg(feature = "deterministic")]
+    if let Some(step) = crate::det::active_step() {
+        return step;
+    }
+    instrument::time::cycles()
+}
 
 /// An opaque reference to a shared node, as stored by the thread-local
 /// structures. Valid for as long as the owning [`SkipGraph`] is alive

@@ -47,6 +47,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
             if !w0.valid() {
                 return Some(false); // logically deleted already
             }
+            // Injected linearizability bug (harness validation only):
+            // claim a successful removal without performing the casValid,
+            // so the key stays present and later operations contradict the
+            // reported removal. See the `bug-injection` feature docs.
+            #[cfg(feature = "bug-injection")]
+            return Some(true);
+            #[cfg(not(feature = "bug-injection"))]
             if node.cas_next(0, w0, w0.with_valid(false), ctx).is_ok() {
                 return Some(true);
             }

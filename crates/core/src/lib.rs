@@ -49,6 +49,8 @@
 //! });
 //! ```
 
+#[cfg(feature = "deterministic")]
+pub mod det;
 mod graph;
 mod layered;
 mod map_api;

@@ -199,10 +199,14 @@ impl<K, V> Node<K, V> {
     /// Whether the node has been linked at all its levels (lazy protocol).
     #[inline]
     pub(crate) fn is_inserted(&self) -> bool {
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point();
         self.inserted.load(Ordering::Acquire)
     }
 
     pub(crate) fn set_inserted(&self) {
+        #[cfg(feature = "deterministic")]
+        crate::det::yield_point();
         self.inserted.store(true, Ordering::Release);
     }
 }

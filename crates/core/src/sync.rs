@@ -22,6 +22,17 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Execution facade: in normal builds this is a no-op the optimizer erases,
+/// so [`TaggedAtomic`] compiles straight down to `std::sync::atomic`. Under
+/// `--features deterministic` every tagged-atomic access first yields to
+/// the cooperative scheduler (see [`crate::det`]), turning each shared
+/// load/store/CAS into a replayable scheduling point.
+#[inline(always)]
+fn facade_yield() {
+    #[cfg(feature = "deterministic")]
+    crate::det::yield_point();
+}
+
 const MARK_BIT: usize = 0b01;
 const INVALID_BIT: usize = 0b10;
 const TAG_MASK: usize = 0b11;
@@ -182,6 +193,7 @@ impl<T> TaggedAtomic<T> {
     /// Atomically loads the word (Acquire).
     #[inline]
     pub fn load(&self) -> TagPtr<T> {
+        facade_yield();
         TagPtr {
             raw: self.cell.load(Ordering::Acquire),
             _marker: PhantomData,
@@ -191,6 +203,7 @@ impl<T> TaggedAtomic<T> {
     /// Plain store (Release). Only for unpublished nodes (initialization).
     #[inline]
     pub fn store(&self, word: TagPtr<T>) {
+        facade_yield();
         self.cell.store(word.raw(), Ordering::Release);
     }
 
@@ -198,6 +211,7 @@ impl<T> TaggedAtomic<T> {
     /// observed word on failure.
     #[inline]
     pub fn compare_exchange(&self, current: TagPtr<T>, new: TagPtr<T>) -> Result<(), TagPtr<T>> {
+        facade_yield();
         self.cell
             .compare_exchange(current.raw(), new.raw(), Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())

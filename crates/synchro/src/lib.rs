@@ -21,11 +21,18 @@
 //!   `rotating`, `nohotspot`, `numask`), so benches and examples can sweep
 //!   them uniformly.
 
+//! * [`stress`] — a history-recording stress runner that checks every
+//!   per-key history for linearizability, with a deterministic-schedule
+//!   mode (`--features deterministic`) that replays and shrinks failures
+//!   to a minimal seed + operation trace.
+
 mod latency;
 pub mod registry;
+pub mod stress;
 mod workload;
 mod zipf;
 
 pub use latency::{run_latency_trial, LatencySummary};
+pub use stress::{stress_named, FailureReport, OpRecord, PlannedOp, StressConfig};
 pub use workload::{run_trial, run_trials, InstrMode, TrialResult, TrialSummary, Workload};
 pub use zipf::Zipf;

@@ -1,0 +1,160 @@
+//! Deterministic-schedule lanes (`cargo test --features deterministic`).
+//!
+//! Under the `deterministic` feature every `TaggedAtomic` access in the
+//! data structures is a yield point of the seeded cooperative scheduler
+//! (`skipgraph::det`), so a whole concurrent execution — every
+//! interleaving decision, every operation result, every history — is a
+//! pure function of the `(workload seed, schedule seed, policy)` triple.
+//!
+//! Replay a failure printed by the stress runner with e.g.
+//! `SCHEDULE_SEED=1234 cargo test --features deterministic pct_schedules`.
+// Not meaningful with the broken-on-purpose lazy remove compiled in.
+#![cfg(all(feature = "deterministic", not(feature = "bug-injection")))]
+
+use skipgraph::det::{round_robin_family, DetConfig, Policy};
+use synchro::stress::{
+    plan_workload, records_named_det, stress_named_det, StressConfig, DET_STRUCTURES,
+};
+
+fn env_seed(default: u64) -> u64 {
+    std::env::var("SCHEDULE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Small deterministic workload: 3 threads keep scheduling interesting
+/// while each run stays well under the step bound.
+fn small() -> StressConfig {
+    StressConfig {
+        threads: 3,
+        key_space: 8,
+        ops_per_thread: 24,
+        update_pct: 70,
+        preload: true,
+        seed: 42,
+    }
+}
+
+#[test]
+fn same_seed_replays_byte_for_byte() {
+    let cfg = small();
+    let plans = plan_workload(&cfg);
+    let det = DetConfig::new(
+        env_seed(0xD15C0),
+        Policy::Pct {
+            change_points: 8,
+            expected_steps: 20_000,
+        },
+    );
+    let (r1, t1) = records_named_det("lazy_layered_sg", &cfg, &plans, &det);
+    let (r2, t2) = records_named_det("lazy_layered_sg", &cfg, &plans, &det);
+    assert_eq!(t1, t2, "schedule traces diverged for identical seeds");
+    assert_eq!(r1, r2, "operation records diverged for identical seeds");
+    assert!(!t1.decisions.is_empty());
+}
+
+#[test]
+fn different_schedule_seeds_explore_different_interleavings() {
+    let cfg = small();
+    let plans = plan_workload(&cfg);
+    let mk = |seed| {
+        DetConfig::new(
+            seed,
+            Policy::Pct {
+                change_points: 12,
+                expected_steps: 20_000,
+            },
+        )
+    };
+    let (_, t1) = records_named_det("skipgraph", &cfg, &plans, &mk(1));
+    let (_, t2) = records_named_det("skipgraph", &cfg, &plans, &mk(2));
+    assert_ne!(t1.decisions, t2.decisions, "PCT seeds 1 and 2 gave the same schedule");
+}
+
+#[test]
+fn round_robin_family_is_clean_on_every_det_structure() {
+    // Bounded-exhaustive sweep of small round-robin schedules: every
+    // quantum × starting thread, on every deterministically schedulable
+    // structure, with a tiny workload.
+    let cfg = StressConfig {
+        threads: 2,
+        key_space: 4,
+        ops_per_thread: 10,
+        update_pct: 80,
+        preload: false,
+        seed: 3,
+    };
+    for name in DET_STRUCTURES {
+        for (seed, policy) in round_robin_family(cfg.threads, 3) {
+            let det = DetConfig::new(seed, policy);
+            stress_named_det(name, &cfg, &det)
+                .unwrap_or_else(|e| panic!("{name} under {:?}: {e}", det.policy));
+        }
+    }
+}
+
+#[test]
+fn pct_schedules_linearize() {
+    let cfg = small();
+    let base = env_seed(100);
+    for name in ["lazy_layered_sg", "layered_map_sg", "skiplist", "harris_ll"] {
+        for s in 0..6u64 {
+            let det = DetConfig::new(
+                base + s,
+                Policy::Pct {
+                    change_points: 10,
+                    expected_steps: 30_000,
+                },
+            );
+            stress_named_det(name, &cfg, &det)
+                .unwrap_or_else(|e| panic!("{name} seed {}: {e}", base + s));
+        }
+    }
+}
+
+#[test]
+fn trace_replay_reproduces_the_run() {
+    let cfg = small();
+    let plans = plan_workload(&cfg);
+    let det = DetConfig::new(env_seed(77), Policy::RoundRobin { quantum: 5 });
+    let (r1, t1) = records_named_det("lazy_layered_sg", &cfg, &plans, &det);
+    let replay = DetConfig::new(
+        det.seed,
+        Policy::Replay {
+            segments: t1.segments(),
+        },
+    );
+    let (r2, t2) = records_named_det("lazy_layered_sg", &cfg, &plans, &replay);
+    assert_eq!(t1.decisions, t2.decisions, "replay deviated from the recorded trace");
+    assert_eq!(r1, r2, "replay produced different operation results");
+}
+
+/// Long-running sweep; run explicitly with
+/// `cargo test --features deterministic -- --ignored long_det_sweep`.
+#[test]
+#[ignore = "long-running: hundreds of seeded schedules over all det structures"]
+fn long_det_sweep() {
+    let cfg = StressConfig {
+        threads: 4,
+        key_space: 10,
+        ops_per_thread: 60,
+        update_pct: 70,
+        preload: true,
+        seed: 9,
+    };
+    let base = env_seed(10_000);
+    for name in DET_STRUCTURES {
+        for s in 0..32u64 {
+            let det = DetConfig::new(
+                base + s,
+                Policy::Pct {
+                    change_points: 16,
+                    expected_steps: 120_000,
+                },
+            );
+            stress_named_det(name, &cfg, &det)
+                .unwrap_or_else(|e| panic!("{name} seed {}: {e}", base + s));
+        }
+    }
+}

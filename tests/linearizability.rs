@@ -4,6 +4,7 @@
 //!
 //! To keep histories within the checker's budget, each test uses a small
 //! key set and bounded ops per thread; timestamps come from the TSC.
+#![cfg(not(feature = "bug-injection"))]
 
 use instrument::time::cycles;
 use instrument::ThreadCtx;

@@ -6,6 +6,7 @@
 //! Complementary to `tests/linearizability.rs` (fixed seeds, all
 //! structures): here the *schedules* and workload mixes are fuzzed on the
 //! structure variants with the most protocol surface.
+#![cfg(not(feature = "bug-injection"))]
 
 use instrument::time::cycles;
 use instrument::ThreadCtx;

@@ -1,0 +1,40 @@
+//! Tier-1 stress smoke: every registry structure runs a small mixed
+//! workload under real threads and every per-key history linearizes.
+//!
+//! This is the always-on lane of the concurrency harness; the
+//! deterministic-schedule lanes live in `tests/deterministic.rs` (behind
+//! `--features deterministic`) and `tests/bug_catch.rs` (additionally
+//! behind `--features bug-injection`).
+#![cfg(not(feature = "bug-injection"))]
+
+use synchro::registry::STRUCTURES;
+use synchro::stress::{stress_named, StressConfig};
+
+#[test]
+fn every_structure_linearizes_smoke() {
+    let cfg = StressConfig::smoke(0xBEEF);
+    for name in STRUCTURES {
+        let n = stress_named(name, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            n,
+            cfg.threads as usize * cfg.ops_per_thread,
+            "{name}: wrong record count"
+        );
+    }
+}
+
+#[test]
+fn contended_preloaded_workload_linearizes() {
+    let cfg = StressConfig::contended(7);
+    for name in ["lazy_layered_sg", "skipgraph", "skiplist", "harris_ll"] {
+        stress_named(name, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn several_seeds_on_the_lazy_variant() {
+    for seed in 0..4u64 {
+        let cfg = StressConfig::contended(seed);
+        stress_named("lazy_layered_sg", &cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

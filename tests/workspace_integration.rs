@@ -2,6 +2,7 @@
 //! instrumentation feeds the reports, the NUMA model feeds the membership
 //! vectors and the locality classification — the full pipeline the
 //! benchmarks rely on.
+#![cfg(not(feature = "bug-injection"))]
 
 use instrument::report::locality_summary;
 use instrument::{AccessStats, ThreadCtx};

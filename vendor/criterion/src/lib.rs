@@ -1,0 +1,205 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple warm-up + timed-loop mean (no outlier
+//! analysis, no HTML reports); results print as `ns/iter` lines. Good
+//! enough for regression eyeballing in an offline container; swap in the
+//! real crate for publication-quality numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the shim materializes one input per routine call regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine invocation.
+    PerIteration,
+}
+
+/// Top-level driver handed to each benchmark function.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: 20,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, &mut f);
+    }
+}
+
+/// A named group with its own timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the measured duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the sample count (accepted; the shim times one long run).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let full = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            ns_per_iter: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            println!("bench: {full:<50} {:>12.1} ns/iter ({} iters)", b.ns_per_iter, b.iters);
+        } else {
+            println!("bench: {full:<50} (no measurement)");
+        }
+    }
+
+    /// Ends the group (no-op; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to `bench_function`.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a batch size that makes clock reads cheap.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            for _ in 0..64 {
+                black_box(routine());
+            }
+            warm_iters += 64;
+        }
+        let batch = (warm_iters / 50).clamp(1, 1 << 16);
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let deadline = self.measurement_time;
+        while elapsed < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement_time {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a group-runner function calling each benchmark in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; a `--test`
+            // invocation only smoke-checks that benches compile and run.
+            let test_only = std::env::args().any(|a| a == "--test");
+            if test_only {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,65 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace uses:
+//! just [`CachePadded`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes, preventing false sharing between
+/// adjacent values in arrays (two cache lines on x86 to defeat the spatial
+/// prefetcher, matching upstream's x86-64 choice).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CachePadded;
+
+    #[test]
+    fn alignment_and_deref() {
+        let v = CachePadded::new(5u8);
+        assert_eq!(*v, 5);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let boxed = Box::new(CachePadded::new(7u64));
+        assert_eq!(&**boxed as *const u64 as usize % 128, 0);
+    }
+}

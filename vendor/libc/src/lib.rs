@@ -1,0 +1,75 @@
+//! Offline shim for the subset of `libc` this workspace uses: CPU-affinity
+//! types and syscall wrappers (`cpu_set_t`, `CPU_ZERO`/`CPU_SET`,
+//! `sched_setaffinity`, `sched_getcpu`). Declares the glibc symbols
+//! directly; the layout of [`cpu_set_t`] matches glibc's 1024-bit set.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// POSIX process id.
+pub type pid_t = i32;
+/// C `size_t`.
+pub type size_t = usize;
+
+/// Number of CPUs representable in a [`cpu_set_t`] (glibc default).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const NWORDS: usize = (CPU_SETSIZE as usize) / 64;
+
+/// glibc-layout CPU set: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; NWORDS],
+}
+
+/// Clears every CPU in the set.
+#[allow(non_snake_case)]
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; NWORDS];
+}
+
+/// Adds `cpu` to the set (out-of-range ids are ignored, as in glibc).
+#[allow(non_snake_case)]
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+/// Whether `cpu` is in the set.
+#[allow(non_snake_case)]
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Binds `pid` (0 = calling thread) to the CPUs in `cpuset`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    /// The CPU the calling thread is running on.
+    pub fn sched_getcpu() -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+        let mut s: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut s);
+        CPU_SET(3, &mut s);
+        assert!(CPU_ISSET(3, &s));
+        assert!(!CPU_ISSET(4, &s));
+        CPU_SET(1 << 20, &mut s); // ignored, no panic
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn getcpu_answers() {
+        assert!(unsafe { sched_getcpu() } >= 0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Implements the `proptest!` macro (both `name in strategy` and
+//! `name: Type` argument forms), `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, integer-range and tuple strategies,
+//! `proptest::collection::vec`, `prop::sample::Index`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics: each test runs `cases` seeded-random cases (no shrinking).
+//! The per-test RNG seed derives from the test name and the
+//! `PROPTEST_SEED` environment variable when set, so failures are
+//! reproducible by exporting the seed printed in the panic message.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A test-case failure (what `prop_assert!` produces and `?` propagates).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+
+    /// An aborted (discarded) case; the shim treats it as a failure.
+    pub fn abort(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl<S: Into<String>> From<S> for TestCaseError {
+    fn from(s: S) -> Self {
+        Self(s.into())
+    }
+}
+
+/// Runner configuration (only the case count is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking: a
+/// strategy is just a seeded sampler.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// A `Vec` strategy with lengths drawn from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.sizes.is_empty() {
+                self.sizes.start
+            } else {
+                rng.gen_range(self.sizes.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategy combinators beyond the basics.
+pub mod strategy {
+    use super::{BoxedStrategy, SmallRng, Strategy};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// A uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+}
+
+/// Support types mirrored from `proptest::prop` paths.
+pub mod sample {
+    use super::{Arbitrary, SmallRng};
+    use rand::Rng;
+
+    /// An index sampler: an arbitrary raw value projected into `0..len`
+    /// via [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index projected into `0..len` (panics when `len == 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            Self(rng.gen())
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod runtime {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Builds the deterministic per-test RNG: FNV-1a over the test name,
+    /// mixed with `PROPTEST_SEED` when set.
+    pub fn rng_for(test_name: &str) -> (SmallRng, u64) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                h ^= seed;
+            }
+        }
+        (SmallRng::seed_from_u64(h), h)
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// `prop::...` paths (e.g. `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::sample;
+        pub use crate::{collection, strategy};
+    }
+}
+
+/// Asserts inside a `proptest!` body; failing returns an error for the
+/// runner instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}: {}",
+                file!(), line!(), a, b, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The test-defining macro. Supports an optional
+/// `#![proptest_config(...)]` header and any mix of `name in strategy`
+/// and `name: Type` parameters.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns [$cfg] $($rest)*);
+    };
+    // @fns: munch one fn item at a time.
+    (@fns [$cfg:expr]) => {};
+    (@fns [$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@parse [$cfg] [$(#[$meta])*] $name [] [$($args)*] $body);
+        $crate::proptest!(@fns [$cfg] $($rest)*);
+    };
+    // @parse: munch the parameter list into (name, strategy) pairs.
+    (@parse [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*]
+        [] $body:block) => {
+        $crate::proptest!(@emit [$cfg] [$($meta)*] $name [$(($n, $s))*] $body);
+    };
+    (@parse [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*]
+        [$an:ident in $as:expr] $body:block) => {
+        $crate::proptest!(@emit [$cfg] [$($meta)*] $name [$(($n, $s))* ($an, $as)] $body);
+    };
+    (@parse [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*]
+        [$an:ident in $as:expr, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@parse [$cfg] [$($meta)*] $name [$(($n, $s))* ($an, $as)]
+            [$($rest)*] $body);
+    };
+    (@parse [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*]
+        [$an:ident: $at:ty] $body:block) => {
+        $crate::proptest!(@emit [$cfg] [$($meta)*] $name
+            [$(($n, $s))* ($an, $crate::any::<$at>())] $body);
+    };
+    (@parse [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*]
+        [$an:ident: $at:ty, $($rest:tt)*] $body:block) => {
+        $crate::proptest!(@parse [$cfg] [$($meta)*] $name
+            [$(($n, $s))* ($an, $crate::any::<$at>())] [$($rest)*] $body);
+    };
+    // @emit: generate the #[test] fn.
+    (@emit [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*] $body:block) => {
+        $($meta)*
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let (mut rng, seed) =
+                $crate::runtime::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $n = $crate::Strategy::generate(&($s), &mut rng);)*
+                let desc = String::new()
+                    $(+ &format!("{} = {:?}; ", stringify!($n), &$n))*;
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {case} failed (rng seed {seed}): {e}\n  inputs: {desc}"
+                    );
+                }
+            }
+        }
+    };
+    // Entry without config header.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns [$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed arg forms parse and generate in-range values.
+        #[allow(unused_comparisons)]
+        fn mixed_args(
+            flag: bool,
+            x in 3u64..10,
+            v in collection::vec(any::<u8>(), 0..5),
+            pair in (0u8..3, 1usize..4),
+            choice in prop_oneof![Just(1u64), Just(5u64)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(x >= 3 && x < 10, "x = {x}");
+            prop_assert!(v.len() < 5);
+            prop_assert!(pair.0 < 3 && pair.1 >= 1 && pair.1 < 4);
+            prop_assert!(choice == 1 || choice == 5);
+            prop_assert_eq!(idx.index(1), 0);
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        fn no_config_header(a in 0u32..100) {
+            prop_assert!(a < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let (mut a, sa) = crate::runtime::rng_for("t::x");
+        let (mut b, sb) = crate::runtime::rng_for("t::x");
+        assert_eq!(sa, sb);
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
