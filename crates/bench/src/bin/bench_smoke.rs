@@ -1,0 +1,256 @@
+//! `bench_smoke`: the PR-gate throughput smoke.
+//!
+//! Runs a short Zipf-skewed (α = 0.99) MC write-heavy trial over the three
+//! headline structures — the lazy skip graph, the sparse skip graph, and
+//! the (non-lazy) layered map — and writes `BENCH_2.json` at the workspace
+//! root with, per structure:
+//!
+//! * `ops_per_s` — median trial throughput over `runs` fresh trials
+//!   (plus `best_ops_per_s`, the max),
+//! * `bytes_per_node` — mean allocated bytes per shared node under the
+//!   truncated-tower layout, plus the fixed-tower baseline for the ratio,
+//! * `nodes_per_search` — mean shared nodes traversed per search (from an
+//!   instrumented companion trial).
+//!
+//! With `--check <baseline.json>` the freshly measured *best* throughput
+//! of each structure is compared against the baseline's median and the
+//! process exits non-zero on a >10% regression — the CI `bench-smoke`
+//! lane feeds it the checked-in `BENCH_2.json`. Comparing best-vs-median
+//! keeps single-trial scheduler interference from flaking the gate while
+//! still catching layout/algorithm regressions, which shift the whole
+//! throughput distribution.
+//!
+//! Scale: `SCALE=quick` (default) or `SCALE=paper`; output path override:
+//! `BENCH_OUT=/path/to.json`.
+
+use bench::{scenario_workload, Scale};
+use instrument::AccessStats;
+use skipgraph::{GraphConfig, LayeredMap, SkipGraph};
+use std::path::PathBuf;
+use std::sync::Arc;
+use synchro::{run_trial, InstrMode};
+
+const ZIPF_ALPHA: f64 = 0.99;
+const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Required allocation saving of the truncated-tower layout under the
+/// sparse configuration, versus the fixed 8-slot inline tower.
+const SPARSE_BYTES_RATIO: f64 = 2.0;
+
+struct Measured {
+    name: &'static str,
+    /// Median trial throughput — the representative number, written to the
+    /// baseline file.
+    ops_per_s: f64,
+    /// Best trial throughput — what the gate compares against a baseline's
+    /// median, so only a shift of the whole distribution (a real
+    /// regression), not scheduler interference on single trials, fails it.
+    best_ops_per_s: f64,
+    bytes_per_node: f64,
+    nodes_per_search: f64,
+    allocated_nodes: usize,
+    resident_bytes: usize,
+}
+
+fn config_for(name: &str, threads: usize, cap: usize) -> GraphConfig {
+    match name {
+        "lazy_layered_sg" => GraphConfig::new(threads).lazy(true).chunk_capacity(cap),
+        "layered_map_ssg" => GraphConfig::new(threads).sparse(true).chunk_capacity(cap),
+        "layered_map_sg" => GraphConfig::new(threads).chunk_capacity(cap),
+        _ => panic!("unknown smoke structure {name:?}"),
+    }
+}
+
+fn measure(name: &'static str, threads: usize, scale: &Scale) -> Measured {
+    // A 10% gate needs steadier samples than the quick scale's default
+    // trial length; stretch short trials to at least 400 ms and take the
+    // best of at least 5 (max-of-N is far more interference-tolerant than
+    // a mean; still ~10 s of CI time for all three structures).
+    let mut w = scenario_workload("mc-wh", threads, scale).zipf(ZIPF_ALPHA);
+    w.duration = w.duration.max(std::time::Duration::from_millis(400));
+    let runs = scale.runs.max(5);
+    // Mirrors synchro::registry's sizing: enough for preload + churn.
+    let cap = ((w.key_space as usize / threads.max(1)) * 2).clamp(1 << 10, 1 << 16);
+
+    // Throughput: `runs` fresh uninstrumented trials.
+    let mut samples = Vec::with_capacity(runs);
+    let mut last_map = None;
+    for _ in 0..runs {
+        let map = LayeredMap::<u64, u64>::new(config_for(name, threads, cap));
+        let r = run_trial(&map, &w, &InstrMode::Off);
+        samples.push(r.ops_per_ms() * 1e3);
+        last_map = Some(map);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let best = *samples.last().expect("at least one run");
+    let map = last_map.expect("at least one run");
+    let mem = map
+        .shared()
+        .memory_stats(&instrument::ThreadCtx::plain(0));
+
+    // Nodes-per-search from one instrumented companion trial (recording
+    // slows the trial down, so it does not contribute to ops_per_s).
+    let stats = AccessStats::new(threads);
+    let imap = LayeredMap::<u64, u64>::new(config_for(name, threads, cap));
+    let _ = run_trial(&imap, &w, &InstrMode::Stats(Arc::clone(&stats)));
+    let totals = stats.totals();
+    let nodes_per_search = if totals.searches == 0 {
+        0.0
+    } else {
+        totals.traversed as f64 / totals.searches as f64
+    };
+
+    Measured {
+        name,
+        ops_per_s: median,
+        best_ops_per_s: best,
+        bytes_per_node: mem.bytes_per_node(),
+        nodes_per_search,
+        allocated_nodes: mem.allocated,
+        resident_bytes: mem.resident_bytes,
+    }
+}
+
+fn render_json(threads: usize, scale_name: &str, fixed_bytes: usize, rows: &[Measured]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"zipf_throughput_smoke\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"zipf_alpha\": {ZIPF_ALPHA},\n"));
+    out.push_str(&format!(
+        "  \"fixed_tower_bytes_per_node\": {fixed_bytes},\n"
+    ));
+    out.push_str("  \"structures\": {\n");
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"ops_per_s\": {:.0}, \"best_ops_per_s\": {:.0}, \
+             \"bytes_per_node\": {:.2}, \
+             \"nodes_per_search\": {:.2}, \"allocated_nodes\": {}, \"resident_bytes\": {} }}{}\n",
+            m.name,
+            m.ops_per_s,
+            m.best_ops_per_s,
+            m.bytes_per_node,
+            m.nodes_per_search,
+            m.allocated_nodes,
+            m.resident_bytes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Pulls `"<structure>": { ... "ops_per_s": <x> ... }` out of a baseline
+/// file without a JSON dependency (the workspace is offline-only).
+fn baseline_ops_per_s(json: &str, structure: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"{structure}\""))?..];
+    let field = &obj[obj.find("\"ops_per_s\"")?..];
+    let val = field[field.find(':')? + 1..].trim_start();
+    let end = val
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(val.len());
+    val[..end].parse().ok()
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap_or(&manifest)
+        .join("BENCH_2.json")
+}
+
+fn main() {
+    let check_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--check")
+            .map(|i| args.get(i + 1).expect("--check needs a path").clone())
+    };
+
+    let scale = Scale::from_env();
+    let scale_name = if scale.duration.as_secs() >= 1 { "paper" } else { "quick" };
+    let threads = *scale.threads.last().expect("thread list");
+    let fixed_bytes = SkipGraph::<u64, u64>::fixed_tower_node_bytes();
+
+    eprintln!("# bench_smoke: mc-wh + zipf({ZIPF_ALPHA}), {threads} threads, {scale_name} scale");
+    let rows: Vec<Measured> = ["lazy_layered_sg", "layered_map_ssg", "layered_map_sg"]
+        .into_iter()
+        .map(|name| {
+            let m = measure(name, threads, &scale);
+            eprintln!(
+                "{:>16}: {:>12.0} ops/s, {:>6.2} B/node ({:.2}x vs fixed {}), {:>6.2} nodes/search",
+                m.name,
+                m.ops_per_s,
+                m.bytes_per_node,
+                fixed_bytes as f64 / m.bytes_per_node,
+                fixed_bytes,
+                m.nodes_per_search
+            );
+            m
+        })
+        .collect();
+
+    let mut failed = false;
+
+    // Layout acceptance: the sparse config must at least halve bytes/node
+    // versus the fixed-tower layout.
+    let sparse = rows
+        .iter()
+        .find(|m| m.name == "layered_map_ssg")
+        .expect("sparse row");
+    let ratio = fixed_bytes as f64 / sparse.bytes_per_node;
+    if ratio < SPARSE_BYTES_RATIO {
+        eprintln!(
+            "FAIL: sparse bytes/node reduction {ratio:.2}x < required {SPARSE_BYTES_RATIO:.1}x"
+        );
+        failed = true;
+    }
+
+    if let Some(path) = check_path {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                for m in &rows {
+                    match baseline_ops_per_s(&baseline, m.name) {
+                        Some(base) if base > 0.0 => {
+                            let floor = base * (1.0 - REGRESSION_TOLERANCE);
+                            let fresh = m.best_ops_per_s;
+                            let verdict = if fresh < floor { "REGRESSED" } else { "ok" };
+                            eprintln!(
+                                "check {:>16}: best {:.0} vs baseline {:.0} (floor {:.0}) {}",
+                                m.name, fresh, base, floor, verdict
+                            );
+                            if fresh < floor {
+                                failed = true;
+                            }
+                        }
+                        _ => eprintln!("check {:>16}: no baseline entry, skipping", m.name),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let json = render_json(threads, scale_name, fixed_bytes, &rows);
+    let out = out_path();
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", out.display());
+            failed = true;
+        }
+    }
+    print!("{json}");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

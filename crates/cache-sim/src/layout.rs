@@ -1,0 +1,133 @@
+//! Line-layout model of shared-node memory layouts.
+//!
+//! The simulator consumes raw addresses, but benchmarks and tests also want
+//! to reason *analytically* about how a node layout maps onto cache lines:
+//! how many 64-byte lines a node of a given tower height spans, and how
+//! many lines a level-0 traversal step must touch. [`NodeLayout`] models a
+//! node as a fixed header plus `height` trailing tower slots — the shape of
+//! both the old fixed-tower layout (`height` always `MAX_HEIGHT - 1`) and
+//! the truncated layout (`height = top_level`), so before/after comparisons
+//! fall out of the same model.
+
+/// 64-byte cache lines, matching [`crate::Hierarchy::xeon_8275cl`].
+pub const LINE_BYTES: usize = 64;
+
+/// A header-plus-tower node layout, for analytic line accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLayout {
+    /// Bytes of the fixed header (level-0 link, key, metadata).
+    pub header_bytes: usize,
+    /// Bytes per trailing tower slot (one tagged next-reference).
+    pub slot_bytes: usize,
+    /// Tower slots always present regardless of a node's height; 0 for the
+    /// height-truncated layout, `MAX_HEIGHT - 1` for a fixed inline tower.
+    pub fixed_slots: usize,
+}
+
+impl NodeLayout {
+    /// A height-truncated layout: nodes carry exactly their height.
+    pub fn truncated(header_bytes: usize, slot_bytes: usize) -> Self {
+        Self {
+            header_bytes,
+            slot_bytes,
+            fixed_slots: 0,
+        }
+    }
+
+    /// A fixed inline-tower layout: every node embeds `fixed_slots` upper
+    /// slots whatever its height.
+    pub fn fixed(header_bytes: usize, slot_bytes: usize, fixed_slots: usize) -> Self {
+        Self {
+            header_bytes,
+            slot_bytes,
+            fixed_slots,
+        }
+    }
+
+    /// Bytes a node of tower height `height` occupies.
+    pub fn node_bytes(&self, height: usize) -> usize {
+        self.header_bytes + self.slot_bytes * height.max(self.fixed_slots)
+    }
+
+    /// Lines a node of height `height` spans, assuming line-aligned slabs
+    /// (the arena cache-line-aligns chunk storage).
+    pub fn node_lines(&self, height: usize) -> usize {
+        self.node_bytes(height).div_ceil(LINE_BYTES)
+    }
+
+    /// Lines one level-0 traversal step touches: the header holds the
+    /// level-0 link, the key, and the packed metadata, so a step costs
+    /// exactly the header's line span.
+    pub fn level0_step_lines(&self) -> usize {
+        self.header_bytes.div_ceil(LINE_BYTES)
+    }
+
+    /// Expected bytes per node under the sparse geometric height
+    /// distribution truncated at `max_level` (`P(h >= i) = 2^-i`).
+    pub fn expected_sparse_bytes(&self, max_level: usize) -> f64 {
+        let mut total = 0.0;
+        for h in 0..=max_level {
+            // P(h) = 2^-(h+1), except the cap absorbs the tail mass.
+            let p = if h == max_level {
+                1.0 / (1u64 << max_level) as f64
+            } else {
+                1.0 / (1u64 << (h + 1)) as f64
+            };
+            total += p * self.node_bytes(h) as f64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shapes shipped by `skipgraph`: 40-byte header, 8-byte slots.
+    const HEADER: usize = 40;
+    const SLOT: usize = 8;
+
+    #[test]
+    fn truncated_nodes_fit_one_line_up_to_height_3() {
+        let l = NodeLayout::truncated(HEADER, SLOT);
+        for h in 0..=3 {
+            assert_eq!(l.node_lines(h), 1, "height {h}");
+        }
+        assert_eq!(l.node_lines(7), 2);
+        assert_eq!(l.level0_step_lines(), 1);
+    }
+
+    #[test]
+    fn fixed_tower_always_spans_two_lines() {
+        // The old layout: 40-byte header + 7 always-present upper slots.
+        let l = NodeLayout::fixed(HEADER, SLOT, 7);
+        for h in 0..=7 {
+            assert_eq!(l.node_bytes(h), 96);
+            assert_eq!(l.node_lines(h), 2, "height {h}");
+        }
+    }
+
+    #[test]
+    fn sparse_expected_bytes_at_least_halved_by_truncation() {
+        let fixed = NodeLayout::fixed(HEADER, SLOT, 7);
+        let truncated = NodeLayout::truncated(HEADER, SLOT);
+        for max_level in 1..=7 {
+            let f = fixed.expected_sparse_bytes(max_level);
+            let t = truncated.expected_sparse_bytes(max_level);
+            assert!(
+                f / t >= 2.0,
+                "max_level {max_level}: fixed {f:.1} vs truncated {t:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_sparse_bytes_is_a_proper_expectation() {
+        let l = NodeLayout::truncated(HEADER, SLOT);
+        // max_level 0: all nodes height 0.
+        assert!((l.expected_sparse_bytes(0) - HEADER as f64).abs() < 1e-9);
+        // max_level 1: half height 0, half height 1.
+        let e = 0.5 * HEADER as f64 + 0.5 * (HEADER + SLOT) as f64;
+        assert!((l.expected_sparse_bytes(1) - e).abs() < 1e-9);
+    }
+}

@@ -30,6 +30,8 @@
 
 mod cache;
 mod hierarchy;
+mod layout;
 
 pub use cache::{Cache, CacheGeometry};
 pub use hierarchy::{Hierarchy, MissCounts};
+pub use layout::{NodeLayout, LINE_BYTES};

@@ -1,0 +1,135 @@
+//! Per-height size-class arenas for height-truncated nodes.
+//!
+//! One benchmark thread owns one [`TowerArenas`]: a bank of `MAX_HEIGHT`
+//! owner-tagged [`Arena`]s, where class `h` carries `h` trailing tower
+//! slots after each node header. Allocating from the class matching a
+//! node's `top_level` gives every node exactly the tower it uses — the
+//! core of the truncated-tower layout — while preserving the paper's
+//! memory model: chunked, first-touched by the owner, never freed mid-run.
+//!
+//! Because tower heights are geometrically distributed (P(h) = 2^-(h+1)
+//! under the sparse strategy), chunk capacities are halved per class so
+//! tall-node classes don't map mostly-empty chunks.
+
+use crate::node::{Node, MAX_HEIGHT};
+use numa::arena::Arena;
+use std::ptr::NonNull;
+
+/// Objects per chunk for class `h`, given the configured base capacity:
+/// halved per height, floored so even the tallest class batches some
+/// allocations.
+fn class_capacity(base: usize, height: usize) -> usize {
+    (base >> height).max((base / 16).max(1))
+}
+
+/// One thread's bank of per-height node arenas.
+pub(crate) struct TowerArenas<K, V> {
+    classes: [Arena<Node<K, V>>; MAX_HEIGHT],
+}
+
+impl<K, V> TowerArenas<K, V> {
+    /// A bank tagged with `owner`, whose height-0 class maps
+    /// `base_capacity`-object chunks (taller classes are smaller).
+    pub(crate) fn new(owner: u16, base_capacity: usize) -> Self {
+        let classes = std::array::from_fn(|h| {
+            Arena::with_layout(
+                owner,
+                class_capacity(base_capacity, h),
+                Node::<K, V>::tower_bytes(h),
+            )
+        });
+        Self { classes }
+    }
+
+    /// Allocates `header` in the size class of its `top_level` and attaches
+    /// the trailing tower. The returned node has all `top_level + 1`
+    /// next-slots initialized to null clean words.
+    pub(crate) fn alloc(&self, header: Node<K, V>) -> NonNull<Node<K, V>> {
+        let class = header.top_level() as usize;
+        debug_assert!(class < MAX_HEIGHT);
+        let node = self.classes[class].alloc(header);
+        // Safety: class `h` slots carry `tower_bytes(h)` zeroed trailing
+        // bytes, exactly what attach_tower requires.
+        unsafe { Node::attach_tower(node) };
+        node
+    }
+
+    /// Total nodes allocated across all classes (monotonic).
+    pub(crate) fn allocated(&self) -> usize {
+        self.classes.iter().map(|a| a.len()).sum()
+    }
+
+    /// Bytes consumed by allocated node slots across all classes.
+    pub(crate) fn allocated_bytes(&self) -> usize {
+        self.classes.iter().map(|a| a.allocated_bytes()).sum()
+    }
+
+    /// Bytes of chunk storage mapped across all classes (first-touch
+    /// resident upper bound; chunks are mapped lazily).
+    pub(crate) fn mapped_bytes(&self) -> usize {
+        self.classes.iter().map(|a| a.mapped_bytes()).sum()
+    }
+
+    /// Adds this bank's per-height allocation counts into `out` (no
+    /// allocation; callable per sample).
+    pub(crate) fn histogram_into(&self, out: &mut [usize; MAX_HEIGHT]) {
+        for (h, a) in self.classes.iter().enumerate() {
+            out[h] += a.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_from_matching_class_with_working_towers() {
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(2, 64);
+        let mut nodes = Vec::new();
+        for h in 0..MAX_HEIGHT as u8 {
+            nodes.push(bank.alloc(Node::new_data(h as u64, 0, 0, 2, h, 0)));
+        }
+        let mut hist = [0usize; MAX_HEIGHT];
+        bank.histogram_into(&mut hist);
+        assert_eq!(hist, [1; MAX_HEIGHT]);
+        assert_eq!(bank.allocated(), MAX_HEIGHT);
+        // Every node can address its full tower.
+        for (h, n) in nodes.iter().enumerate() {
+            let n = unsafe { n.as_ref() };
+            for level in 0..=h {
+                assert!(n.load_next_raw(level).ptr().is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_classes_cost_less_than_fixed_towers() {
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        for _ in 0..100 {
+            bank.alloc(Node::new_data(1, 1, 0, 0, 0, 0));
+        }
+        let fixed = 100
+            * (std::mem::size_of::<Node<u64, u64>>()
+                + Node::<u64, u64>::tower_bytes(MAX_HEIGHT - 1));
+        assert!(
+            bank.allocated_bytes() * 2 <= fixed,
+            "height-0 nodes must cost <= half a fixed-tower node: {} vs {}",
+            bank.allocated_bytes(),
+            fixed
+        );
+    }
+
+    #[test]
+    fn class_capacity_is_monotone_and_positive() {
+        for base in [1usize, 4, 1 << 10, 1 << 16] {
+            let mut prev = usize::MAX;
+            for h in 0..MAX_HEIGHT {
+                let c = class_capacity(base, h);
+                assert!(c >= 1);
+                assert!(c <= prev);
+                prev = c;
+            }
+        }
+    }
+}

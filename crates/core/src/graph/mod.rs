@@ -14,6 +14,7 @@
 //! references), and composite insert/remove/contains operations used when
 //! the graph is operated without the thread-local layer.
 
+mod arenas;
 mod iter;
 mod ops;
 mod range;
@@ -23,14 +24,15 @@ mod tests;
 
 pub use iter::SnapshotIter;
 pub use range::{NodeRefHint, RangeIter};
-pub use stats::StructureStats;
+pub use stats::{MemoryStats, StructureStats};
 
 use crate::mvec::{list_suffix, membership_vectors};
 use crate::node::{Node, MAX_HEIGHT};
 use crate::params::GraphConfig;
+use crate::prefetch::prefetch_read;
 use crate::sync::TagPtr;
+use arenas::TowerArenas;
 use instrument::ThreadCtx;
-use numa::arena::Arena;
 use std::cmp::Ordering as CmpOrdering;
 use std::ptr::NonNull;
 
@@ -107,11 +109,12 @@ pub struct SkipGraph<K, V> {
     membership: Box<[u32]>,
     /// Head sentinel of every list, indexed by `head_index(level, suffix)`.
     heads: Box<[NodePtr<K, V>]>,
-    /// Per-thread data-node arenas (index = thread id).
-    arenas: Box<[Arena<Node<K, V>>]>,
-    /// Sentinel arena (owner tag 0, matching the paper's attribution of
-    /// head accesses to one arbitrary thread).
-    _sentinels: Arena<Node<K, V>>,
+    /// Per-thread size-class node arenas (index = thread id; class = tower
+    /// height).
+    arenas: Box<[TowerArenas<K, V>]>,
+    /// Sentinel arena bank (owner tag 0, matching the paper's attribution
+    /// of head accesses to one arbitrary thread).
+    _sentinels: TowerArenas<K, V>,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipGraph<K, V> {}
@@ -129,8 +132,24 @@ impl<K, V> SkipGraph<K, V> {
     }
 
     /// Nodes allocated per thread arena (monotonic; arenas never shrink).
+    ///
+    /// Allocates its result; sampling loops should prefer
+    /// [`SkipGraph::allocated_nodes`] / [`SkipGraph::memory_stats`].
     pub fn arena_sizes(&self) -> Vec<usize> {
-        self.arenas.iter().map(|a| a.len()).collect()
+        self.arenas.iter().map(|a| a.allocated()).collect()
+    }
+
+    /// Total data nodes ever allocated, across all threads and size
+    /// classes. Zero-alloc; safe to call per sample.
+    pub fn allocated_nodes(&self) -> usize {
+        self.arenas.iter().map(|a| a.allocated()).sum()
+    }
+
+    /// Bytes per node the *old* fixed-tower inline layout would spend
+    /// (header plus `MAX_HEIGHT - 1` always-present upper slots) — the
+    /// baseline the truncated layout is measured against.
+    pub fn fixed_tower_node_bytes() -> usize {
+        std::mem::size_of::<Node<K, V>>() + Node::<K, V>::tower_bytes(MAX_HEIGHT - 1)
     }
 }
 
@@ -143,7 +162,10 @@ impl<K: Ord, V> SkipGraph<K, V> {
             config.max_level,
         )
         .into_boxed_slice();
-        let sentinels = Arena::with_chunk_capacity(0, 1024.min(config.chunk_capacity.max(2)));
+        // Sentinels go through the same size classes as data nodes (a
+        // level-`l` head lands in class `l`, the tail in the top class);
+        // chunks are mapped lazily, so unused classes cost nothing.
+        let sentinels = TowerArenas::new(0, 256.min(config.chunk_capacity.max(2)));
         let tail = sentinels.alloc(Node::new_tail()).as_ptr();
         let max = config.max_level;
         let mut heads = vec![std::ptr::null_mut(); head_index(max, 0) + (1 << max)];
@@ -151,13 +173,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
             for suffix in 0..(1u32 << level) {
                 let head = sentinels.alloc(Node::new_head(level, suffix));
                 unsafe {
-                    head.as_ref().next[level as usize].store(TagPtr::clean(tail));
+                    head.as_ref().store_next(level as usize, TagPtr::clean(tail));
                 }
                 heads[head_index(level, suffix)] = head.as_ptr();
             }
         }
         let arenas = (0..config.num_threads)
-            .map(|t| Arena::with_chunk_capacity(t as u16, config.chunk_capacity))
+            .map(|t| TowerArenas::new(t as u16, config.chunk_capacity))
             .collect();
         Self {
             config,
@@ -198,7 +220,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
             mvec,
             ctx.id(),
             top_level,
-            cycles(),
+            cycles() as u32,
         ))
     }
 
@@ -232,14 +254,17 @@ impl<K: Ord, V> SkipGraph<K, V> {
         if w0.valid() {
             return false;
         }
-        if cycles().wrapping_sub(node.alloc_ts) <= self.config.commission_cycles {
+        // Timestamps are truncated to 32 bits; comparing the wrapped delta
+        // keeps the check sound (truncation can only delay retirement).
+        let elapsed = (cycles() as u32).wrapping_sub(node.alloc_ts()) as u64;
+        if elapsed <= self.config.commission_cycles {
             return false;
         }
         // retire(): atomically (false, invalid) -> (true, invalid), then
         // mark every upper level top-down.
         match node.cas_next(0, w0, w0.with_mark(), ctx) {
             Ok(()) => {
-                for level in (1..=node.top_level as usize).rev() {
+                for level in (1..=node.top_level() as usize).rev() {
                     self.help_mark(node, level, ctx);
                 }
                 true
@@ -277,6 +302,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 return (cur, advanced); // tail (or a head, which never appears mid-list)
             }
             let w = node.load_next(level, ctx);
+            // Pull the successor's header line in while we finish deciding
+            // whether `node` is skippable (mark checks / retire below).
+            prefetch_read(w.ptr());
             if w.marked() {
                 *visited += 1;
                 cur = w.ptr();
@@ -319,7 +347,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     ) -> SearchResult<K, V> {
         let mut visited = 0u64;
         let (mut prev, top) = match start {
-            Some(p) => (p, unsafe { &*p }.top_level as usize),
+            Some(p) => (p, unsafe { &*p }.top_level() as usize),
             None => (
                 self.head(self.config.max_level, mvec),
                 self.config.max_level as usize,
@@ -338,6 +366,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 debug_assert!(spins < 500_000_000, "search_from livelock at level {level}");
                 let prev_ref = unsafe { &*prev };
                 let mut middle = prev_ref.load_next(level, ctx);
+                // Overlap the successor's line transfer with the null /
+                // mark bookkeeping before we dereference it.
+                prefetch_read(middle.ptr());
                 if middle.ptr().is_null() {
                     // `prev` can only be a start node that was never linked
                     // at this level: a partially-linked node whose
@@ -399,7 +430,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 let mut last_key: Option<&K> = None;
                 loop {
                     let node = unsafe { &*p };
-                    let next = node.next[level as usize].load().ptr();
+                    let next = node.load_next_raw(level as usize).ptr();
                     if next.is_null() {
                         return Err(format!("level {level}/{suffix}: null next"));
                     }
@@ -420,13 +451,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
                     }
                     last_key = Some(k);
                     if level > 0 {
-                        if list_suffix(n.mvec, level) != suffix {
+                        if list_suffix(n.mvec(), level) != suffix {
                             return Err(format!(
                                 "level {level}/{suffix}: foreign mvec {:b}",
-                                n.mvec
+                                n.mvec()
                             ));
                         }
-                        if n.top_level < level {
+                        if n.top_level() < level {
                             return Err(format!(
                                 "level {level}/{suffix}: node above its top level"
                             ));

@@ -64,7 +64,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     /// competes to set the level-0 mark (the linearization point). Returns
     /// whether this call won.
     pub(crate) fn logical_delete_eager(&self, node: &Node<K, V>, ctx: &ThreadCtx) -> bool {
-        for level in (1..=node.top_level as usize).rev() {
+        for level in (1..=node.top_level() as usize).rev() {
             self.help_mark(node, level, ctx);
         }
         loop {
@@ -94,7 +94,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         }
         let node_ref = unsafe { node.as_ref() };
         // Fresh nodes are published unmarked and valid.
-        node_ref.next[0].store(TagPtr::clean(res.succs[0]));
+        node_ref.store_next(0, TagPtr::clean(res.succs[0]));
         let pred = unsafe { &*res.preds[0] };
         pred.cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
             .is_ok()
@@ -114,9 +114,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
     ) -> bool {
         let node = unsafe { node_nn.as_ref() };
         let key = unsafe { node.key() };
-        let mvec = node.mvec;
+        let mvec = node.mvec();
         let unlink = !self.config.lazy;
-        for level in 1..=node.top_level as usize {
+        for level in 1..=node.top_level() as usize {
             let mut spins = 0u64;
             loop {
                 spins += 1;

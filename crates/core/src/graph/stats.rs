@@ -9,6 +9,7 @@
 
 use super::SkipGraph;
 use crate::mvec::list_suffix;
+use crate::node::MAX_HEIGHT;
 use instrument::ThreadCtx;
 
 /// A snapshot of the structure's physical composition. Counts are
@@ -90,7 +91,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
                     if !node.is_data() {
                         break;
                     }
-                    debug_assert_eq!(list_suffix(node.mvec, level), suffix);
+                    debug_assert_eq!(list_suffix(node.mvec(), level), suffix);
                     count += 1;
                     p = node.load_next(level as usize, ctx).ptr();
                 }
@@ -103,6 +104,90 @@ impl<K: Ord, V> SkipGraph<K, V> {
             marked,
             per_level,
             allocated_per_thread: self.arena_sizes(),
+        }
+    }
+
+    /// Zero-allocation memory snapshot: one bottom-list walk plus fixed-size
+    /// arena counters. Unlike [`SkipGraph::structure_stats`] (which builds
+    /// `Vec`s per call), this is safe to call from a sampling loop.
+    pub fn memory_stats(&self, ctx: &ThreadCtx) -> MemoryStats {
+        let (mut live, mut invalid, mut marked) = (0, 0, 0);
+        let mut cur = unsafe { &*self.head(0, 0) }.load_next(0, ctx).ptr();
+        loop {
+            let node = unsafe { &*cur };
+            if !node.is_data() {
+                break;
+            }
+            let w = node.load_next(0, ctx);
+            if w.marked() {
+                marked += 1;
+            } else if !w.valid() {
+                invalid += 1;
+            } else {
+                live += 1;
+            }
+            cur = w.ptr();
+        }
+        let mut height_histogram = [0usize; MAX_HEIGHT];
+        let mut allocated_bytes = 0;
+        let mut resident_bytes = 0;
+        for bank in self.arenas.iter() {
+            bank.histogram_into(&mut height_histogram);
+            allocated_bytes += bank.allocated_bytes();
+            resident_bytes += bank.mapped_bytes();
+        }
+        MemoryStats {
+            live,
+            invalid,
+            marked,
+            allocated: height_histogram.iter().sum(),
+            allocated_bytes,
+            resident_bytes,
+            height_histogram,
+        }
+    }
+}
+
+/// Zero-alloc counterpart of [`StructureStats`] for the size-class arenas:
+/// live/dead composition of the bottom list plus per-height allocation
+/// counts and byte usage. `Copy`, fixed size, no heap traffic — built for
+/// per-sample observability of the truncated-tower layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Unmarked, valid data nodes in the bottom list (the abstract set).
+    pub live: usize,
+    /// Unmarked but invalid nodes (logically deleted, commission pending).
+    pub invalid: usize,
+    /// Marked nodes still physically linked in the bottom list.
+    pub marked: usize,
+    /// Data nodes ever allocated, all threads and size classes (monotonic;
+    /// includes physically unlinked and never-published nodes).
+    pub allocated: usize,
+    /// Bytes consumed by allocated node slots (header + truncated tower).
+    pub allocated_bytes: usize,
+    /// Bytes of arena chunk storage mapped (first-touch resident bound).
+    pub resident_bytes: usize,
+    /// Allocated nodes per tower height (`[h]` = nodes with `top_level == h`).
+    pub height_histogram: [usize; MAX_HEIGHT],
+}
+
+impl MemoryStats {
+    /// Total nodes physically present in the bottom list.
+    pub fn physical(&self) -> usize {
+        self.live + self.invalid + self.marked
+    }
+
+    /// Allocated nodes that are dead weight (not live in the abstract set).
+    pub fn dead(&self) -> usize {
+        self.allocated.saturating_sub(self.live)
+    }
+
+    /// Mean allocated bytes per node (0.0 when nothing is allocated).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.allocated == 0 {
+            0.0
+        } else {
+            self.allocated_bytes as f64 / self.allocated as f64
         }
     }
 }
@@ -168,6 +253,54 @@ mod tests {
         for (level, &n) in s.per_level.iter().enumerate() {
             assert_eq!(n, 100, "level {level}");
         }
+    }
+
+    #[test]
+    fn memory_stats_tracks_height_classes_and_bytes() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(
+            GraphConfig::new(8)
+                .lazy(true)
+                .commission_cycles(u64::MAX)
+                .chunk_capacity(256),
+        );
+        let c = ThreadCtx::plain(0);
+        // Deterministic heights: 60 at height 0, 30 at height 1, 10 at 2.
+        for k in 0..60u64 {
+            assert!(g.insert_with_height(k, k, 0, &c));
+        }
+        for k in 60..90u64 {
+            assert!(g.insert_with_height(k, k, 1, &c));
+        }
+        for k in 90..100u64 {
+            assert!(g.insert_with_height(k, k, 2, &c));
+        }
+        for k in 0..20u64 {
+            assert!(g.remove(&k, &c));
+        }
+        let m = g.memory_stats(&c);
+        assert_eq!(m.live, 80);
+        assert_eq!(m.invalid, 20);
+        assert_eq!(m.marked, 0);
+        assert_eq!(m.physical(), 100);
+        assert_eq!(m.allocated, 100);
+        assert_eq!(m.dead(), 20);
+        assert_eq!(m.height_histogram[0], 60);
+        assert_eq!(m.height_histogram[1], 30);
+        assert_eq!(m.height_histogram[2], 10);
+        assert_eq!(m.height_histogram[3..], [0usize; MAX_HEIGHT - 3]);
+        // Byte accounting: truncated towers cost header + h slots.
+        let header = std::mem::size_of::<crate::node::Node<u64, u64>>();
+        let slot = std::mem::size_of::<usize>();
+        let expected = 60 * header + 30 * (header + slot) + 10 * (header + 2 * slot);
+        assert_eq!(m.allocated_bytes, expected);
+        assert!(m.resident_bytes >= m.allocated_bytes);
+        assert!(m.bytes_per_node() < SkipGraph::<u64, u64>::fixed_tower_node_bytes() as f64);
+        // Agreement with the allocating walk.
+        let s = g.structure_stats(&c);
+        assert_eq!(s.live, m.live);
+        assert_eq!(s.invalid, m.invalid);
+        assert_eq!(s.allocated(), m.allocated);
+        assert_eq!(g.allocated_nodes(), m.allocated);
     }
 
     #[test]

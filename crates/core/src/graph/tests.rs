@@ -46,7 +46,7 @@ fn heads_cover_every_list_and_point_at_tail() {
             let head = g.head(level, suffix);
             let h = unsafe { &*head };
             assert!(h.is_head());
-            assert_eq!(h.top_level, level);
+            assert_eq!(h.top_level(), level);
             let next = h.load_next(level as usize, &c);
             assert!(unsafe { &*next.ptr() }.is_tail(), "level {level}/{suffix}");
         }
@@ -244,7 +244,7 @@ fn partitioned_upper_levels_respect_membership() {
     let mut seen = 0;
     while unsafe { &*cur }.is_data() {
         let n = unsafe { &*cur };
-        assert_eq!(n.mvec & 1, 1, "foreign node in list (1,1)");
+        assert_eq!(n.mvec() & 1, 1, "foreign node in list (1,1)");
         seen += 1;
         cur = n.load_next(1, &c0).ptr();
     }
@@ -280,6 +280,50 @@ fn sparse_heights_bound_tower_population() {
         "top-level population {count}, expected about {expected}"
     );
     g.check_invariants().unwrap();
+}
+
+#[test]
+fn sparse_invariants_hold_across_all_heights_and_mutations() {
+    // Truncated-tower regression: under the sparse config nodes of every
+    // height class coexist, and check_invariants walks every list of every
+    // level — any out-of-bounds tower slot or mis-linked truncated node
+    // would surface here (and under Miri).
+    let g: SkipGraph<u64, u64> =
+        SkipGraph::new(GraphConfig::new(16).sparse(true).lazy(true).chunk_capacity(512));
+    let c = ctx(0);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let max = g.config().max_level;
+    assert!(max >= 2, "need several height classes");
+    for k in 0..600u64 {
+        let h = sparse_height(&mut rng, max);
+        assert!(g.insert_with_height(k, k, h, &c));
+    }
+    // Every height class must actually be populated.
+    let m = g.memory_stats(&c);
+    for h in 0..=max as usize {
+        assert!(m.height_histogram[h] > 0, "no nodes of height {h}");
+    }
+    assert_eq!(m.height_histogram.iter().sum::<usize>(), 600);
+    g.check_invariants().unwrap();
+    // Mutate: remove a third, reinsert some, then re-check.
+    for k in (0..600u64).step_by(3) {
+        assert!(g.remove(&k, &c));
+    }
+    for k in (0..600u64).step_by(6) {
+        let h = sparse_height(&mut rng, max);
+        assert!(g.insert_with_height(k, k, h, &c));
+    }
+    g.check_invariants().unwrap();
+    // Byte accounting stays consistent with the histogram.
+    let m = g.memory_stats(&c);
+    let header = std::mem::size_of::<Node<u64, u64>>();
+    let expected: usize = m
+        .height_histogram
+        .iter()
+        .enumerate()
+        .map(|(h, &n)| n * (header + h * std::mem::size_of::<usize>()))
+        .sum();
+    assert_eq!(m.allocated_bytes, expected);
 }
 
 #[test]

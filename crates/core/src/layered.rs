@@ -232,8 +232,8 @@ where
             let (k, r) = self.local.pred(&cursor)?;
             let node = unsafe { r.0.as_ref() };
             let usable = node.is_inserted()
-                && node.top_level >= min_top
-                && (!node.is_marked(0) || !node.is_marked(node.top_level as usize));
+                && node.top_level() >= min_top
+                && (!node.is_marked(0) || !node.is_marked(node.top_level() as usize));
             if usable {
                 return Some(r.0.as_ptr());
             }
@@ -252,17 +252,17 @@ where
         while let Some((k, r)) = probe {
             let node = unsafe { r.0.as_ref() };
             let mark0 = node.is_marked(0);
-            let mark_top = node.is_marked(node.top_level as usize);
+            let mark_top = node.is_marked(node.top_level() as usize);
             if !mark0 || !mark_top {
                 if node.is_inserted() {
-                    if node.top_level >= min_top {
+                    if node.top_level() >= min_top {
                         return Some(r.0.as_ptr()); // found fully inserted
                     }
                     // Alive but too short to start from: step back.
                 } else {
                     // Try to complete the pending insertion.
                     let shared = &self.map.shared;
-                    let top = node.top_level;
+                    let top = node.top_level();
                     let start2 = self.prev_start(&k, top);
                     let mut res = shared.search_from(&k, self.mvec, start2, false, &self.ctx);
                     let finished = res.found
@@ -271,7 +271,7 @@ where
                             self.prev_start(&k, top)
                         });
                     if finished {
-                        if node.top_level >= min_top {
+                        if node.top_level() >= min_top {
                             return Some(r.0.as_ptr()); // just fully inserted
                         }
                     } else {

@@ -57,11 +57,14 @@ mod map_api;
 pub mod mvec;
 mod node;
 mod params;
+mod prefetch;
 pub mod sync;
 
 pub mod local;
 
-pub use graph::{NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter, StructureStats};
+pub use graph::{
+    MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter, StructureStats,
+};
 pub use layered::{LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};
 pub use mvec::{default_max_level, MembershipStrategy};

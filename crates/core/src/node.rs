@@ -1,20 +1,36 @@
-//! Shared node layout.
+//! Shared node layout: packed header + height-truncated trailing tower.
 //!
-//! A shared node carries its key/value, a fixed-size tower of tagged `next`
-//! references (one per level), the membership vector of the inserting
-//! thread, the NUMA-ownership tag used by the instrumentation, the
-//! `inserted` flag of the lazy protocol, and the allocation timestamp used
-//! by the commission period.
+//! A shared node is a fixed *header* followed by a trailing tower of
+//! exactly `top_level` tagged next-references (levels `1..=top_level`; the
+//! level-0 reference lives in the header). Nodes are allocated from
+//! per-height size-class arenas ([`crate::graph`]'s `TowerArenas`), so a
+//! node pays for precisely the tower it uses instead of embedding a
+//! worst-case `[TaggedAtomic; MAX_HEIGHT]` — under the sparse-height
+//! configuration the expected tower length is < 1 slot, which more than
+//! halves bytes-per-node versus the old inline layout.
+//!
+//! The header is `#[repr(C)]` with the hot fields first: the level-0
+//! next-reference, the tower pointer, then the key (the discriminant every
+//! traversal compares). For `Node<u64, u64>` the header is 40 bytes, so a
+//! level-0 traversal step — load `next[0]`, compare the key, inspect the
+//! packed metadata — touches a single cache line per node (chunk storage is
+//! 64-byte aligned; see `numa::arena`).
+//!
+//! The cold/rare metadata (`kind`, `top_level`, `inserted`) is packed into
+//! one atomic byte, and the commission timestamp is truncated to 32 bits
+//! (wrap-around can only *delay* retirement by one 2^32-cycle epoch, never
+//! trigger it early, because `check_retire` compares the elapsed delta).
 
 use crate::sync::{TagPtr, TaggedAtomic};
 use instrument::ThreadCtx;
 use std::cmp::Ordering as CmpOrdering;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Maximum tower height supported by the inline layout. The layered
-/// structures use `MaxLevel = ceil(log2 T) - 1`, so 8 levels support up to
-/// 2^9 = 512 threads.
+/// Maximum tower height supported. The layered structures use
+/// `MaxLevel = ceil(log2 T) - 1`, so 8 levels support up to 2^9 = 512
+/// threads. Height `h` nodes (`top_level = h`) occupy the size class with
+/// `h` trailing tower slots.
 pub const MAX_HEIGHT: usize = 8;
 
 /// What a node is: a per-list head sentinel, a data node, or the shared
@@ -26,94 +42,216 @@ pub(crate) enum NodeKind {
     Tail,
 }
 
+/// `meta` byte: bits 0..=2 `top_level`, bits 3..=4 `kind`, bit 7 `inserted`.
+/// Only `inserted` ever changes after construction; the rest are immutable,
+/// so relaxed loads are enough to read them.
+const META_TOP_MASK: u8 = 0b0000_0111;
+const META_KIND_SHIFT: u8 = 3;
+const META_KIND_MASK: u8 = 0b11 << META_KIND_SHIFT;
+const META_INSERTED: u8 = 0b1000_0000;
+
+const KIND_HEAD: u8 = 0;
+const KIND_DATA: u8 = 1;
+const KIND_TAIL: u8 = 2;
+
+/// Node header. The trailing tower (`top_level` extra [`TaggedAtomic`]
+/// slots) is co-allocated immediately after the header by the size-class
+/// arena and reached through `self.tower`, which is set once by
+/// [`Node::attach_tower`] right after allocation.
+///
+/// Field order is fixed (`repr(C)`) so the hot path — `next0`, `tower`,
+/// `key` — occupies the first bytes of the (cache-line-aligned) slot.
+#[repr(C)]
 pub(crate) struct Node<K, V> {
-    /// `next[i]` is this node's successor in the level-`i` linked list it
-    /// belongs to, tagged with (marked, valid) bits.
-    pub(crate) next: [TaggedAtomic<Node<K, V>>; MAX_HEIGHT],
+    /// This node's successor in the level-0 list, tagged with
+    /// (marked, valid) bits. Level 0 is in the header because every
+    /// traversal ends there and the lazy protocol's logical state (valid /
+    /// marked) lives in this word.
+    next0: TaggedAtomic<Node<K, V>>,
+    /// First slot of the trailing tower (levels `1..=top_level`), or null
+    /// for height-0 nodes and nodes whose tower is not attached yet. Set
+    /// once from the arena slot pointer — deriving it from `&self` would
+    /// leave the reference's provenance (which covers only the header).
+    tower: *mut TaggedAtomic<Node<K, V>>,
     key: MaybeUninit<K>,
     value: MaybeUninit<V>,
-    pub(crate) kind: NodeKind,
+    /// Truncated cycle timestamp at allocation (commission period, Alg.
+    /// 14). 32 bits: `check_retire` compares the wrapped *delta*, so the
+    /// truncation can only postpone retirement, never cause it early.
+    alloc_ts: u32,
     /// Membership vector of the inserting thread (suffixes select lists).
-    pub(crate) mvec: u32,
+    /// `max_level < MAX_HEIGHT = 8`, so vectors always fit in 7 bits.
+    mvec: u8,
+    /// Packed `top_level` / `kind` / `inserted` (see the `META_*` masks).
+    meta: AtomicU8,
     /// Benchmark thread that allocated this node (NUMA-ownership tag).
-    pub(crate) owner: u16,
-    /// Highest level this node participates in (`0..MAX_HEIGHT`).
-    pub(crate) top_level: u8,
-    /// Lazy protocol: true once the node is linked at all its levels.
-    pub(crate) inserted: AtomicBool,
-    /// Cycle timestamp at allocation (commission period, Alg. 14).
-    pub(crate) alloc_ts: u64,
+    owner: u16,
 }
 
-fn empty_tower<K, V>() -> [TaggedAtomic<Node<K, V>>; MAX_HEIGHT] {
-    std::array::from_fn(|_| TaggedAtomic::null())
+#[inline]
+fn pack_meta(kind: u8, top_level: u8, inserted: bool) -> u8 {
+    debug_assert!((top_level as usize) < MAX_HEIGHT);
+    (top_level & META_TOP_MASK)
+        | (kind << META_KIND_SHIFT)
+        | if inserted { META_INSERTED } else { 0 }
 }
 
 impl<K, V> Node<K, V> {
+    /// Bytes of trailing tower storage a node of height `top_level` needs.
+    pub(crate) const fn tower_bytes(top_level: usize) -> usize {
+        top_level * std::mem::size_of::<TaggedAtomic<Node<K, V>>>()
+    }
+
     pub(crate) fn new_data(
         key: K,
         value: V,
         mvec: u32,
         owner: u16,
         top_level: u8,
-        alloc_ts: u64,
+        alloc_ts: u32,
     ) -> Self {
         debug_assert!((top_level as usize) < MAX_HEIGHT);
+        debug_assert!(mvec <= u8::MAX as u32, "membership vectors fit in 7 bits");
         Self {
-            next: empty_tower(),
+            next0: TaggedAtomic::null(),
+            tower: std::ptr::null_mut(),
             key: MaybeUninit::new(key),
             value: MaybeUninit::new(value),
-            kind: NodeKind::Data,
-            mvec,
-            owner,
-            top_level,
-            inserted: AtomicBool::new(false),
             alloc_ts,
+            mvec: mvec as u8,
+            meta: AtomicU8::new(pack_meta(KIND_DATA, top_level, false)),
+            owner,
         }
     }
 
     /// A head sentinel for the list (`level`, `suffix`). Heads compare less
     /// than every key. Head accesses are attributed to thread 0 (the paper
-    /// attributes head-array accesses "arbitrarily" to one thread).
+    /// attributes head-array accesses "arbitrarily" to one thread). A head
+    /// only ever uses its level-`level` reference, but is allocated with a
+    /// full `level`-slot tower so `next(level)` is in bounds.
     pub(crate) fn new_head(level: u8, suffix: u32) -> Self {
+        debug_assert!(suffix <= u8::MAX as u32);
         Self {
-            next: empty_tower(),
+            next0: TaggedAtomic::null(),
+            tower: std::ptr::null_mut(),
             key: MaybeUninit::uninit(),
             value: MaybeUninit::uninit(),
-            kind: NodeKind::Head,
-            mvec: suffix,
-            owner: 0,
-            top_level: level,
-            inserted: AtomicBool::new(true),
             alloc_ts: 0,
+            mvec: suffix as u8,
+            meta: AtomicU8::new(pack_meta(KIND_HEAD, level, true)),
+            owner: 0,
         }
     }
 
     /// The single tail sentinel, comparing greater than every key.
     pub(crate) fn new_tail() -> Self {
         Self {
-            next: empty_tower(),
+            next0: TaggedAtomic::null(),
+            tower: std::ptr::null_mut(),
             key: MaybeUninit::uninit(),
             value: MaybeUninit::uninit(),
-            kind: NodeKind::Tail,
-            mvec: 0,
-            owner: 0,
-            top_level: (MAX_HEIGHT - 1) as u8,
-            inserted: AtomicBool::new(true),
             alloc_ts: 0,
+            mvec: 0,
+            meta: AtomicU8::new(pack_meta(KIND_TAIL, (MAX_HEIGHT - 1) as u8, true)),
+            owner: 0,
         }
     }
 
+    /// Points `node.tower` at the trailing slots the size-class arena
+    /// co-allocated after the header. Must be called once, right after
+    /// allocation, before the node is published.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be an arena slot with at least
+    /// [`Node::tower_bytes`]`(top_level)` zero-initialized bytes directly
+    /// after the header (zeroed bytes are valid null [`TaggedAtomic`]s).
+    pub(crate) unsafe fn attach_tower(node: std::ptr::NonNull<Self>) {
+        let top = node.as_ref().top_level() as usize;
+        if top == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            std::mem::size_of::<Self>() % std::mem::align_of::<TaggedAtomic<Self>>(),
+            0,
+            "tower slots must be naturally aligned after the header"
+        );
+        // Derive the tower pointer from the raw slot pointer (whose
+        // provenance spans the whole arena chunk), not from a `&Node`.
+        let base = node
+            .as_ptr()
+            .cast::<u8>()
+            .add(std::mem::size_of::<Self>())
+            .cast::<TaggedAtomic<Self>>();
+        std::ptr::addr_of_mut!((*node.as_ptr()).tower).write(base);
+    }
+
+    #[inline]
+    fn meta_bits(&self) -> u8 {
+        self.meta.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn kind(&self) -> NodeKind {
+        match (self.meta_bits() & META_KIND_MASK) >> META_KIND_SHIFT {
+            KIND_HEAD => NodeKind::Head,
+            KIND_DATA => NodeKind::Data,
+            _ => NodeKind::Tail,
+        }
+    }
+
+    /// Highest level this node participates in (`0..MAX_HEIGHT`); also the
+    /// length of the trailing tower.
+    #[inline]
+    pub(crate) fn top_level(&self) -> u8 {
+        self.meta_bits() & META_TOP_MASK
+    }
+
+    /// Membership vector of the inserting thread.
+    #[inline]
+    pub(crate) fn mvec(&self) -> u32 {
+        self.mvec as u32
+    }
+
+    /// NUMA-ownership tag (allocating benchmark thread).
+    #[inline]
+    pub(crate) fn owner(&self) -> u16 {
+        self.owner
+    }
+
+    /// Truncated allocation timestamp (commission period).
+    #[inline]
+    pub(crate) fn alloc_ts(&self) -> u32 {
+        self.alloc_ts
+    }
+
     pub(crate) fn is_data(&self) -> bool {
-        self.kind == NodeKind::Data
+        self.kind() == NodeKind::Data
     }
 
     pub(crate) fn is_tail(&self) -> bool {
-        self.kind == NodeKind::Tail
+        self.kind() == NodeKind::Tail
     }
 
     pub(crate) fn is_head(&self) -> bool {
-        self.kind == NodeKind::Head
+        self.kind() == NodeKind::Head
+    }
+
+    /// The level-`level` next-reference slot: level 0 from the header,
+    /// upper levels from the trailing tower (bounds-checked in debug
+    /// builds: accessing above `top_level` reads past the allocation).
+    #[inline]
+    pub(crate) fn next(&self, level: usize) -> &TaggedAtomic<Node<K, V>> {
+        if level == 0 {
+            return &self.next0;
+        }
+        debug_assert!(
+            level <= self.top_level() as usize,
+            "level {level} above tower height {}",
+            self.top_level()
+        );
+        debug_assert!(!self.tower.is_null(), "tower not attached");
+        unsafe { &*self.tower.add(level - 1) }
     }
 
     /// The node's key.
@@ -139,7 +277,7 @@ impl<K, V> Node<K, V> {
     where
         K: Ord,
     {
-        match self.kind {
+        match self.kind() {
             NodeKind::Head => CmpOrdering::Less,
             NodeKind::Tail => CmpOrdering::Greater,
             NodeKind::Data => unsafe { self.key().cmp(k) },
@@ -150,17 +288,24 @@ impl<K, V> Node<K, V> {
     /// against this node's owner (plus the cache simulation, if attached).
     #[inline]
     pub(crate) fn load_next(&self, level: usize, ctx: &ThreadCtx) -> TagPtr<Node<K, V>> {
+        let slot = self.next(level);
         if ctx.is_recording() {
-            ctx.record_read(self.owner, self.next[level].addr());
+            ctx.record_read(self.owner(), slot.addr());
         }
-        self.next[level].load()
+        slot.load()
     }
 
     /// Unrecorded load, for a thread touching its own in-flight node (the
     /// paper excludes such accesses from the instrumentation).
     #[inline]
     pub(crate) fn load_next_raw(&self, level: usize) -> TagPtr<Node<K, V>> {
-        self.next[level].load()
+        self.next(level).load()
+    }
+
+    /// Unrecorded store, for initializing an unpublished node.
+    #[inline]
+    pub(crate) fn store_next(&self, level: usize, word: TagPtr<Node<K, V>>) {
+        self.next(level).store(word);
     }
 
     /// Recorded maintenance CAS on `next[level]`.
@@ -172,9 +317,10 @@ impl<K, V> Node<K, V> {
         new: TagPtr<Node<K, V>>,
         ctx: &ThreadCtx,
     ) -> Result<(), TagPtr<Node<K, V>>> {
-        let r = self.next[level].compare_exchange(current, new);
+        let slot = self.next(level);
+        let r = slot.compare_exchange(current, new);
         if ctx.is_recording() {
-            ctx.record_cas(self.owner, self.next[level].addr(), r.is_ok());
+            ctx.record_cas(self.owner(), slot.addr(), r.is_ok());
         }
         r
     }
@@ -187,13 +333,13 @@ impl<K, V> Node<K, V> {
         current: TagPtr<Node<K, V>>,
         new: TagPtr<Node<K, V>>,
     ) -> Result<(), TagPtr<Node<K, V>>> {
-        self.next[level].compare_exchange(current, new)
+        self.next(level).compare_exchange(current, new)
     }
 
     /// Whether this node's level-`level` reference is marked.
     #[inline]
     pub(crate) fn is_marked(&self, level: usize) -> bool {
-        self.next[level].load().marked()
+        self.next(level).load().marked()
     }
 
     /// Whether the node has been linked at all its levels (lazy protocol).
@@ -201,19 +347,19 @@ impl<K, V> Node<K, V> {
     pub(crate) fn is_inserted(&self) -> bool {
         #[cfg(feature = "deterministic")]
         crate::det::yield_point();
-        self.inserted.load(Ordering::Acquire)
+        self.meta.load(Ordering::Acquire) & META_INSERTED != 0
     }
 
     pub(crate) fn set_inserted(&self) {
         #[cfg(feature = "deterministic")]
         crate::det::yield_point();
-        self.inserted.store(true, Ordering::Release);
+        self.meta.fetch_or(META_INSERTED, Ordering::Release);
     }
 }
 
 impl<K, V> Drop for Node<K, V> {
     fn drop(&mut self) {
-        if self.kind == NodeKind::Data {
+        if self.kind() == NodeKind::Data {
             unsafe {
                 self.key.assume_init_drop();
                 self.value.assume_init_drop();
@@ -225,10 +371,10 @@ impl<K, V> Drop for Node<K, V> {
 impl<K, V> std::fmt::Debug for Node<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Node")
-            .field("kind", &self.kind)
-            .field("mvec", &self.mvec)
+            .field("kind", &self.kind())
+            .field("mvec", &self.mvec())
             .field("owner", &self.owner)
-            .field("top_level", &self.top_level)
+            .field("top_level", &self.top_level())
             .finish()
     }
 }
@@ -236,6 +382,8 @@ impl<K, V> std::fmt::Debug for Node<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use numa::arena::Arena;
+    use std::ptr::NonNull;
 
     #[test]
     fn data_node_fields() {
@@ -243,13 +391,16 @@ mod tests {
         assert!(n.is_data());
         assert_eq!(unsafe { *n.key() }, 42);
         assert_eq!(unsafe { *n.value() }, 7);
-        assert_eq!(n.mvec, 0b101);
-        assert_eq!(n.owner, 3);
-        assert_eq!(n.top_level, 2);
-        assert_eq!(n.alloc_ts, 99);
+        assert_eq!(n.mvec(), 0b101);
+        assert_eq!(n.owner(), 3);
+        assert_eq!(n.top_level(), 2);
+        assert_eq!(n.alloc_ts(), 99);
         assert!(!n.is_inserted());
         n.set_inserted();
         assert!(n.is_inserted());
+        // Setting `inserted` must not clobber the packed immutable bits.
+        assert!(n.is_data());
+        assert_eq!(n.top_level(), 2);
     }
 
     #[test]
@@ -268,6 +419,92 @@ mod tests {
         assert_eq!(n.cmp_key(&5), CmpOrdering::Greater);
         assert_eq!(n.cmp_key(&10), CmpOrdering::Equal);
         assert_eq!(n.cmp_key(&15), CmpOrdering::Less);
+    }
+
+    #[test]
+    fn header_is_packed_into_one_cache_line() {
+        // The whole point of the layout: header (next0 + tower ptr + key +
+        // value + packed metadata) of a u64 map node is 40 bytes, and a
+        // height-0 node is exactly the header — both under one 64-byte
+        // line. The old inline-tower layout was 96 bytes.
+        assert_eq!(std::mem::size_of::<Node<u64, u64>>(), 40);
+        assert_eq!(std::mem::align_of::<Node<u64, u64>>(), 8);
+        // Tower slots can be appended without padding.
+        assert_eq!(
+            std::mem::size_of::<Node<u64, u64>>()
+                % std::mem::align_of::<TaggedAtomic<Node<u64, u64>>>(),
+            0
+        );
+        assert_eq!(Node::<u64, u64>::tower_bytes(0), 0);
+        assert_eq!(Node::<u64, u64>::tower_bytes(7), 56);
+    }
+
+    fn tower_arena(top_level: usize) -> Arena<Node<u64, u64>> {
+        Arena::with_layout(0, 16, Node::<u64, u64>::tower_bytes(top_level))
+    }
+
+    #[test]
+    fn attached_tower_slots_start_null_and_are_independent() {
+        let arena = tower_arena(3);
+        let node = arena.alloc(Node::new_data(1, 1, 0, 0, 3, 0));
+        unsafe { Node::attach_tower(node) };
+        let n = unsafe { node.as_ref() };
+        let probe = arena.alloc(Node::new_data(2, 2, 0, 0, 3, 0));
+        unsafe { Node::attach_tower(probe) };
+        for level in 0..=3usize {
+            assert!(n.load_next_raw(level).ptr().is_null(), "level {level} not null");
+        }
+        // Stores at each level land in distinct slots.
+        for level in 0..=3usize {
+            n.store_next(level, TagPtr::clean(probe.as_ptr()));
+        }
+        for level in 0..=3usize {
+            assert_eq!(n.load_next_raw(level).ptr(), probe.as_ptr());
+        }
+        // ...and did not leak into the neighboring slot's header.
+        assert!(unsafe { probe.as_ref() }.load_next_raw(0).ptr().is_null());
+    }
+
+    #[test]
+    fn height_zero_node_needs_no_tower() {
+        let arena = tower_arena(0);
+        let node = arena.alloc(Node::new_data(9, 9, 0, 0, 0, 0));
+        unsafe { Node::attach_tower(node) };
+        let n = unsafe { node.as_ref() };
+        assert!(n.load_next_raw(0).ptr().is_null());
+        n.store_next(0, TagPtr::clean(node.as_ptr()));
+        assert_eq!(n.load_next_raw(0).ptr(), node.as_ptr());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "above tower height")]
+    fn out_of_height_slot_access_is_caught() {
+        let arena = tower_arena(2);
+        let node = arena.alloc(Node::new_data(1u64, 1u64, 0, 0, 2, 0));
+        unsafe { Node::attach_tower(node) };
+        let _ = unsafe { node.as_ref() }.load_next_raw(3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "tower not attached")]
+    fn unattached_tower_access_is_caught() {
+        let n: Node<u64, u64> = Node::new_data(1, 1, 0, 0, 2, 0);
+        let _ = n.load_next_raw(1);
+    }
+
+    #[test]
+    fn cas_through_tower_slot() {
+        let arena = tower_arena(1);
+        let node = arena.alloc(Node::new_data(1u64, 1u64, 0, 0, 1, 0));
+        unsafe { Node::attach_tower(node) };
+        let n = unsafe { node.as_ref() };
+        let word = TagPtr::clean(node.as_ptr());
+        assert!(n.cas_next_raw(1, TagPtr::null(), word).is_ok());
+        assert_eq!(n.load_next_raw(1).ptr(), node.as_ptr());
+        assert!(n.cas_next_raw(1, TagPtr::null(), word).is_err());
+        let _ = NonNull::from(n);
     }
 
     #[test]

@@ -7,18 +7,31 @@
 //! * each benchmark thread owns one arena, tagged with the thread id (and
 //!   therefore with the thread's NUMA node via the placement),
 //! * allocation bumps inside large chunks; a new chunk is mapped only when
-//!   the current one fills up,
-//! * memory is *first-touched* by the owning thread at allocation time, so
-//!   under Linux's default first-touch policy the pages are physically local
-//!   to the owner (exactly the paper's definition of "local memory"),
+//!   the current one fills up — and the *first* chunk is mapped lazily at
+//!   the first allocation, so the memory is *first-touched* by the owning
+//!   thread (under Linux's default first-touch policy the pages are
+//!   physically local to the owner — exactly the paper's definition of
+//!   "local memory" — even when the arena object itself was constructed by
+//!   a different thread),
+//! * chunk storage is cache-line aligned (64 bytes), so the first slot of
+//!   every chunk starts on a line boundary and slot offsets translate
+//!   directly into line offsets for the cache model,
 //! * objects live until the arena is dropped. This mirrors the paper's C++
 //!   implementation, which never frees shared nodes mid-run, and is what
 //!   makes the stale node pointers held by the thread-local structures safe
 //!   to dereference (they are validated through mark/valid bits instead of
 //!   being reclaimed).
+//!
+//! # Size-class support
+//!
+//! [`Arena::with_layout`] builds an arena whose slots carry `extra` trailing
+//! bytes after each `T` — the allocation primitive behind the skip graph's
+//! height-truncated node towers (one arena per tower height, each slot is a
+//! node header plus exactly `height` trailing next-slots). The trailing
+//! bytes are zero-initialized at allocation time; only the `T` prefix is
+//! dropped when the arena is dropped.
 
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
-use std::mem::MaybeUninit;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
@@ -27,8 +40,11 @@ use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 /// container's memory budget (configurable via [`Arena::with_chunk_capacity`]).
 pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
 
+/// Cache-line size chunk storage is aligned to.
+pub const CACHE_LINE: usize = 64;
+
 struct Chunk<T> {
-    storage: NonNull<MaybeUninit<T>>,
+    storage: NonNull<u8>,
     capacity: usize,
     /// Number of initialized slots. Slots are claimed by CAS so the arena is
     /// safe even if multiple threads allocate (normally only the owner does).
@@ -37,13 +53,14 @@ struct Chunk<T> {
 }
 
 impl<T> Chunk<T> {
-    fn new(capacity: usize) -> NonNull<Chunk<T>> {
-        let layout = Layout::array::<MaybeUninit<T>>(capacity).expect("chunk layout");
+    fn new(capacity: usize, layout: Layout) -> NonNull<Chunk<T>> {
         let storage = if layout.size() == 0 {
-            NonNull::dangling()
+            // Zero-size slots: any aligned non-null pointer is valid for
+            // zero-size reads/writes.
+            NonNull::new(layout.align() as *mut u8).expect("nonzero align")
         } else {
             let raw = unsafe { alloc(layout) };
-            match NonNull::new(raw as *mut MaybeUninit<T>) {
+            match NonNull::new(raw) {
                 Some(p) => p,
                 None => handle_alloc_error(layout),
             }
@@ -57,8 +74,8 @@ impl<T> Chunk<T> {
         NonNull::from(Box::leak(chunk))
     }
 
-    /// Tries to claim one slot; returns the slot pointer on success.
-    fn try_alloc(&self) -> Option<NonNull<MaybeUninit<T>>> {
+    /// Tries to claim one slot; returns the slot base pointer on success.
+    fn try_alloc(&self, stride: usize) -> Option<NonNull<u8>> {
         let mut len = self.len.load(Ordering::Relaxed);
         loop {
             if len >= self.capacity {
@@ -71,7 +88,9 @@ impl<T> Chunk<T> {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    return Some(unsafe { NonNull::new_unchecked(self.storage.as_ptr().add(len)) })
+                    return Some(unsafe {
+                        NonNull::new_unchecked(self.storage.as_ptr().add(len * stride))
+                    })
                 }
                 Err(cur) => len = cur,
             }
@@ -99,11 +118,20 @@ pub struct Arena<T> {
     head: AtomicPtr<Chunk<T>>,
     current: AtomicPtr<Chunk<T>>,
     chunk_capacity: usize,
+    /// Bytes from one slot base to the next (`size_of::<T>() + extra`,
+    /// rounded up to `T`'s alignment).
+    stride: usize,
+    /// Trailing bytes per slot, zeroed at allocation.
+    extra: usize,
     owner: u16,
 }
 
 unsafe impl<T: Send> Send for Arena<T> {}
 unsafe impl<T: Send + Sync> Sync for Arena<T> {}
+
+fn round_up(n: usize, to: usize) -> usize {
+    n.div_ceil(to) * to
+}
 
 impl<T> Arena<T> {
     /// Creates an arena tagged with an owner thread id, using
@@ -118,12 +146,32 @@ impl<T> Arena<T> {
     ///
     /// Panics if `chunk_capacity` is zero.
     pub fn with_chunk_capacity(owner: u16, chunk_capacity: usize) -> Self {
+        Self::with_layout(owner, chunk_capacity, 0)
+    }
+
+    /// Creates an arena whose slots are a `T` followed by `extra_bytes`
+    /// trailing bytes (zero-initialized on allocation). This is the
+    /// size-class primitive: the skip graph allocates height-`h` nodes from
+    /// an arena with `extra_bytes = h * size_of::<next-slot>()`, so a node
+    /// pays for exactly the tower it uses instead of an inline worst-case
+    /// tower.
+    ///
+    /// The trailing bytes are *not* dropped with the `T` prefix; they must
+    /// hold plain data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity` is zero.
+    pub fn with_layout(owner: u16, chunk_capacity: usize, extra_bytes: usize) -> Self {
         assert!(chunk_capacity > 0, "chunk capacity must be positive");
-        let first = Chunk::<T>::new(chunk_capacity).as_ptr();
+        let align = std::mem::align_of::<T>();
+        let stride = round_up(std::mem::size_of::<T>() + extra_bytes, align);
         Self {
-            head: AtomicPtr::new(first),
-            current: AtomicPtr::new(first),
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            current: AtomicPtr::new(std::ptr::null_mut()),
             chunk_capacity,
+            stride,
+            extra: extra_bytes,
             owner,
         }
     }
@@ -134,25 +182,87 @@ impl<T> Arena<T> {
         self.owner
     }
 
+    /// Bytes from one slot base to the next.
+    pub fn slot_stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Trailing bytes per slot (zeroed at allocation).
+    pub fn extra_bytes(&self) -> usize {
+        self.extra
+    }
+
+    fn chunk_layout(&self) -> Layout {
+        let align = std::mem::align_of::<T>().max(CACHE_LINE);
+        Layout::from_size_align(self.stride * self.chunk_capacity, align)
+            .expect("chunk layout")
+    }
+
     /// Allocates `value` in the arena and returns a stable pointer to it.
-    /// The object is dropped when the arena is dropped.
+    /// Any trailing slot bytes are zeroed. The object is dropped when the
+    /// arena is dropped.
     pub fn alloc(&self, value: T) -> NonNull<T> {
+        let slot = self.reserve_slot();
+        unsafe {
+            let p = slot.as_ptr() as *mut T;
+            p.write(value);
+            if self.extra > 0 {
+                std::ptr::write_bytes(slot.as_ptr().add(std::mem::size_of::<T>()), 0, self.extra);
+            }
+            NonNull::new_unchecked(p)
+        }
+    }
+
+    /// Claims one raw slot, mapping chunks as needed.
+    fn reserve_slot(&self) -> NonNull<u8> {
         loop {
-            let cur = unsafe { &*self.current.load(Ordering::Acquire) };
-            if let Some(slot) = cur.try_alloc() {
-                unsafe {
-                    slot.as_ptr().write(MaybeUninit::new(value));
-                    return NonNull::new_unchecked(slot.as_ptr() as *mut T);
-                }
+            let cur_ptr = self.current.load(Ordering::Acquire);
+            if cur_ptr.is_null() {
+                self.install_first();
+                continue;
+            }
+            let cur = unsafe { &*cur_ptr };
+            if let Some(slot) = cur.try_alloc(self.stride) {
+                return slot;
             }
             self.grow(cur);
+        }
+    }
+
+    /// Maps the first chunk (first allocation = first touch by the owner;
+    /// racing installers: one wins, losers free theirs).
+    fn install_first(&self) {
+        let fresh = Chunk::<T>::new(self.chunk_capacity, self.chunk_layout()).as_ptr();
+        match self.head.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let _ = self.current.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            Err(existing) => {
+                unsafe { drop_chunk_struct(fresh, self.chunk_layout()) };
+                let _ = self.current.compare_exchange(
+                    std::ptr::null_mut(),
+                    existing,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
         }
     }
 
     /// Appends a fresh chunk after `full` (racing growers: one wins, the
     /// loser frees its chunk) and advances `current`.
     fn grow(&self, full: &Chunk<T>) {
-        let fresh = Chunk::<T>::new(self.chunk_capacity).as_ptr();
+        let fresh = Chunk::<T>::new(self.chunk_capacity, self.chunk_layout()).as_ptr();
         match full.next.compare_exchange(
             std::ptr::null_mut(),
             fresh,
@@ -169,7 +279,7 @@ impl<T> Arena<T> {
             }
             Err(existing) => {
                 // Someone else grew; free ours and follow theirs.
-                unsafe { drop_chunk_struct(fresh) };
+                unsafe { drop_chunk_struct(fresh, self.chunk_layout()) };
                 let _ = self.current.compare_exchange(
                     full as *const _ as *mut _,
                     existing,
@@ -197,7 +307,7 @@ impl<T> Arena<T> {
         self.len() == 0
     }
 
-    /// Number of chunks mapped so far.
+    /// Number of chunks mapped so far (0 until the first allocation).
     pub fn chunk_count(&self) -> usize {
         let mut n = 0;
         let mut p = self.head.load(Ordering::Acquire);
@@ -207,19 +317,30 @@ impl<T> Arena<T> {
         }
         n
     }
+
+    /// Bytes consumed by allocated slots (`len * stride`).
+    pub fn allocated_bytes(&self) -> usize {
+        self.len() * self.stride
+    }
+
+    /// Bytes of chunk storage mapped so far (allocated slots plus the
+    /// unused tail of the current chunk).
+    pub fn mapped_bytes(&self) -> usize {
+        self.chunk_count() * self.chunk_capacity * self.stride
+    }
 }
 
 /// Frees an (empty-of-live-objects) chunk struct and its storage.
-unsafe fn drop_chunk_struct<T>(p: *mut Chunk<T>) {
+unsafe fn drop_chunk_struct<T>(p: *mut Chunk<T>, layout: Layout) {
     let chunk = Box::from_raw(p);
-    let layout = Layout::array::<MaybeUninit<T>>(chunk.capacity).expect("chunk layout");
     if layout.size() != 0 {
-        dealloc(chunk.storage.as_ptr() as *mut u8, layout);
+        dealloc(chunk.storage.as_ptr(), layout);
     }
 }
 
 impl<T> Drop for Arena<T> {
     fn drop(&mut self) {
+        let layout = self.chunk_layout();
         let mut p = self.head.load(Ordering::Acquire);
         while !p.is_null() {
             let chunk = unsafe { &*p };
@@ -227,9 +348,9 @@ impl<T> Drop for Arena<T> {
             let len = chunk.len.load(Ordering::Acquire).min(chunk.capacity);
             unsafe {
                 for i in 0..len {
-                    std::ptr::drop_in_place((*chunk.storage.as_ptr().add(i)).as_mut_ptr());
+                    std::ptr::drop_in_place(chunk.storage.as_ptr().add(i * self.stride) as *mut T);
                 }
-                drop_chunk_struct(p);
+                drop_chunk_struct(p, layout);
             }
             p = next;
         }
@@ -242,6 +363,7 @@ impl<T> std::fmt::Debug for Arena<T> {
             .field("owner", &self.owner)
             .field("len", &self.len())
             .field("chunks", &self.chunk_count())
+            .field("stride", &self.stride)
             .finish()
     }
 }
@@ -324,9 +446,66 @@ mod tests {
     }
 
     #[test]
-    fn empty_arena() {
+    fn empty_arena_maps_no_chunk() {
         let a: Arena<u8> = Arena::new(0);
         assert!(a.is_empty());
+        assert_eq!(a.chunk_count(), 0, "first chunk is mapped lazily");
+        assert_eq!(a.mapped_bytes(), 0);
+        let _ = a.alloc(1);
         assert_eq!(a.chunk_count(), 1);
+    }
+
+    /// Regression test for the chunk-storage alignment fix: storage used to
+    /// be allocated at `T`'s natural alignment, so node slots straddled
+    /// cache lines arbitrarily. Every chunk's first slot must now sit on a
+    /// 64-byte boundary.
+    #[test]
+    fn chunk_storage_is_cache_line_aligned() {
+        #[repr(C, align(8))]
+        struct NodeLike {
+            a: u64,
+            b: u64,
+        }
+        let a: Arena<NodeLike> = Arena::with_chunk_capacity(0, 4);
+        for i in 0..16u64 {
+            let p = a.alloc(NodeLike { a: i, b: i }).as_ptr() as usize;
+            // Slot base = chunk base + i*stride; with 4 slots per chunk the
+            // first slot of each chunk (i % 4 == 0) must be line-aligned.
+            if i % 4 == 0 {
+                assert_eq!(p % CACHE_LINE, 0, "chunk base not 64-byte aligned");
+            }
+            assert_eq!(p % std::mem::align_of::<NodeLike>(), 0);
+        }
+        assert_eq!(a.chunk_count(), 4);
+    }
+
+    #[test]
+    fn trailing_bytes_are_zeroed_and_stride_accounted() {
+        let a: Arena<u64> = Arena::with_layout(0, 8, 24);
+        assert_eq!(a.slot_stride(), 32);
+        assert_eq!(a.extra_bytes(), 24);
+        let p = a.alloc(0xdead_beef);
+        unsafe {
+            let tail = (p.as_ptr() as *const u8).add(8);
+            for i in 0..24 {
+                assert_eq!(*tail.add(i), 0, "trailing byte {i} not zeroed");
+            }
+        }
+        assert_eq!(a.allocated_bytes(), 32);
+        assert_eq!(a.mapped_bytes(), 8 * 32);
+    }
+
+    #[test]
+    fn trailing_bytes_do_not_overlap_next_slot() {
+        let a: Arena<u64> = Arena::with_layout(0, 4, 8);
+        let p1 = a.alloc(1);
+        let p2 = a.alloc(2);
+        let d = (p2.as_ptr() as usize).wrapping_sub(p1.as_ptr() as usize);
+        assert_eq!(d, 16, "stride must cover value + extra");
+        unsafe {
+            // Writing p1's trailing bytes must not corrupt p2.
+            std::ptr::write_bytes((p1.as_ptr() as *mut u8).add(8), 0xff, 8);
+            assert_eq!(*p2.as_ref(), 2);
+        }
     }
 }

@@ -17,9 +17,14 @@ fn main() {
     println!("config: {config:?}");
     let map: LayeredMap<u64, String> = LayeredMap::new(config);
 
+    // The cross-thread lookups below assert keys inserted by *other*
+    // threads, so every thread must finish its insert stripe first.
+    let inserted = std::sync::Barrier::new(THREADS);
+
     std::thread::scope(|s| {
         for t in 0..THREADS as u16 {
             let map = &map;
+            let inserted = &inserted;
             s.spawn(move || {
                 // Each thread registers once and gets a handle owning its
                 // thread-local structures (ordered map + hash table).
@@ -34,6 +39,7 @@ fn main() {
                     let key = i * THREADS as u64 + t as u64;
                     assert!(handle.insert(key, format!("value-{key}")));
                 }
+                inserted.wait();
 
                 // Local speculative lookups hit the thread's own hashtable.
                 assert!(handle.contains(&(t as u64)));
