@@ -1,0 +1,350 @@
+//! `bench_batch`: batched vs unbatched layered-map throughput smoke.
+//!
+//! Mirrors the MC write-heavy smoke of `bench_smoke` / BENCH_2 (Zipf
+//! α = 0.99 ranks scattered over a 2^14 key space, 20% preload, 50%
+//! updates as matched insert/remove churn, 50% membership probes) at
+//! 8 threads, and runs it in two configuration lanes:
+//!
+//! * **sparse** — the default eager protocol with sparse local indexing
+//!   (the headline memory layout; BENCH_2 measures the per-op smokes at
+//!   50-80 nodes/search here: half the operations are probes of
+//!   mostly-absent keys, and each thread's local structures only warm
+//!   up from its own 1/T share of the traffic, so per-op execution pays
+//!   a real traversal most of the time). This lane is what the
+//!   `--check` gate scores: the combiner executes the whole socket's
+//!   traffic through one set of local structures (which therefore warm
+//!   ~4× faster), and its key-sorted runs resolve duplicate hot keys
+//!   from the hint chain.
+//! * **lazy** — the lazy layered variant, whose denser local indexing
+//!   absorbs more of the traffic into fast paths in both modes;
+//!   reported for the ablation table (EXPERIMENTS.md), not gated (the
+//!   batched win is real but inside run-to-run noise on small hosts).
+//!
+//! Each lane runs twice:
+//!
+//! * **unbatched** — one [`LayeredMap`] operation per call, the direct
+//!   per-thread handle path (the `run_trial` loop of `synchro`);
+//! * **batched** — the same op stream grouped into 64-operation batches
+//!   published to the NUMA-local flat-combining executor
+//!   ([`BatchedLayeredMap`]).
+//!
+//! Writes `BENCH_3.json` at the workspace root (`BENCH_OUT` overrides)
+//! with median-of-3 ops/s for both modes of both lanes, nodes/search
+//! from instrumented companion trials, the combiner's mean batch size,
+//! and the mean hint-hit distance. With `--check` the process exits
+//! non-zero unless, on the sparse lane, batched throughput is ≥ 1.3×
+//! unbatched *and* the batched path cuts nodes/search by ≥ 25% — the CI
+//! `bench-smoke` batch lane runs this.
+
+use instrument::{AccessStats, ThreadCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skipgraph::{BatchConfig, BatchOp, BatchedLayeredMap, GraphConfig, LayeredMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use synchro::Zipf;
+
+const THREADS: usize = 8;
+const KEY_SPACE: u64 = 1 << 14;
+const ZIPF_ALPHA: f64 = 0.99;
+const UPDATE_RATIO: f64 = 0.5;
+const PRELOAD_FRACTION: f64 = 0.2;
+const BATCH: usize = 64;
+const TRIALS: usize = 3;
+const TRIAL_LEN: Duration = Duration::from_millis(150);
+const MIN_SPEEDUP: f64 = 1.3;
+const MIN_NODES_REDUCTION: f64 = 0.25;
+
+fn config(sparse: bool) -> GraphConfig {
+    let cap = ((KEY_SPACE as usize / THREADS) * 2).clamp(1 << 10, 1 << 16);
+    GraphConfig::new(THREADS)
+        .lazy(!sparse)
+        .sparse(sparse)
+        .chunk_capacity(cap)
+}
+
+fn batch_config() -> BatchConfig {
+    // Two synthetic slot banks: on the paper's real machines this would be
+    // `BatchConfig::from_placement`, but the smoke must exercise the
+    // cross-slot combining protocol even on the single-node CI host.
+    BatchConfig::uniform(THREADS, 2)
+}
+
+/// The smoke's key draw: Zipf ranks scattered over the ordered key space
+/// (an odd multiplier is a bijection modulo the power-of-two space), same
+/// as `synchro::run_trial`.
+fn draw_key(zipf: &Zipf, rng: &mut SmallRng) -> u64 {
+    zipf.sample(rng).wrapping_mul(0x9E37_79B1) % KEY_SPACE
+}
+
+fn preload_target() -> u64 {
+    (KEY_SPACE as f64 * PRELOAD_FRACTION) as u64
+}
+
+/// One trial of either mode. Every thread preloads (Zipf-drawn inserts
+/// until the shared cardinality target, warming its own local structures
+/// exactly as the per-op smoke does), then runs the measured mix until the
+/// deadline; `batch` groups the stream into combiner publications.
+/// Returns completed operations.
+fn run_trial(batched: bool, sparse: bool, stats: Option<&Arc<AccessStats>>) -> u64 {
+    let unbatched_map; // keep whichever map alive for the scope below
+    let batched_map;
+    let (plain, combined) = if batched {
+        batched_map = BatchedLayeredMap::<u64, u64>::new(config(sparse), batch_config());
+        (None, Some(&batched_map))
+    } else {
+        unbatched_map = LayeredMap::<u64, u64>::new(config(sparse));
+        (Some(&unbatched_map), None)
+    };
+    let preloaded = AtomicU64::new(0);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        (0..THREADS as u16)
+            .map(|t| {
+                let preloaded = &preloaded;
+                let barrier = &barrier;
+                let ctx = match stats {
+                    Some(st) => ThreadCtx::recording(t, Arc::clone(st)),
+                    None => ThreadCtx::plain(t),
+                };
+                s.spawn(move || {
+                    let zipf = Zipf::new(KEY_SPACE, ZIPF_ALPHA);
+                    let mut rng = SmallRng::seed_from_u64(0x5eed ^ ((t as u64 + 1) * 0x9E37));
+                    let mut ops = 0u64;
+                    let mut last_inserted: Option<u64> = None;
+                    if let Some(m) = combined {
+                        let mut h = m.register(ctx);
+                        // Preload through the direct per-thread path in both
+                        // modes, so worker-local structures start equally
+                        // warm.
+                        while preloaded.load(Ordering::Relaxed) < preload_target() {
+                            let k = draw_key(&zipf, &mut rng);
+                            if h.direct().insert(k, k) {
+                                preloaded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        barrier.wait();
+                        let deadline = Instant::now() + TRIAL_LEN;
+                        while Instant::now() < deadline {
+                            let batch: Vec<BatchOp<u64, u64>> = (0..BATCH)
+                                .map(|_| {
+                                    let p: f64 = rng.gen();
+                                    if p < UPDATE_RATIO {
+                                        match last_inserted.take() {
+                                            None => {
+                                                let k = draw_key(&zipf, &mut rng);
+                                                last_inserted = Some(k);
+                                                BatchOp::Insert(k, k)
+                                            }
+                                            Some(k) => BatchOp::Remove(k),
+                                        }
+                                    } else {
+                                        BatchOp::Get(draw_key(&zipf, &mut rng))
+                                    }
+                                })
+                                .collect();
+                            ops += h.execute_batch(batch).len() as u64;
+                        }
+                    } else {
+                        let mut h = plain.unwrap().register(ctx);
+                        while preloaded.load(Ordering::Relaxed) < preload_target() {
+                            let k = draw_key(&zipf, &mut rng);
+                            if h.insert(k, k) {
+                                preloaded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        barrier.wait();
+                        let deadline = Instant::now() + TRIAL_LEN;
+                        while Instant::now() < deadline {
+                            // Check the clock once per 32 ops, not per op.
+                            for _ in 0..32 {
+                                let p: f64 = rng.gen();
+                                if p < UPDATE_RATIO {
+                                    match last_inserted.take() {
+                                        None => {
+                                            let k = draw_key(&zipf, &mut rng);
+                                            if h.insert(k, k) {
+                                                last_inserted = Some(k);
+                                            }
+                                        }
+                                        Some(k) => {
+                                            let _ = h.remove(&k);
+                                        }
+                                    }
+                                } else {
+                                    let _ = h.contains(&draw_key(&zipf, &mut rng));
+                                }
+                                ops += 1;
+                            }
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .sum()
+    })
+}
+
+struct Mode {
+    ops_per_s: f64,
+    nodes_per_search: f64,
+}
+
+struct Lane {
+    name: &'static str,
+    unbatched: Mode,
+    batched: Mode,
+    mean_batch: f64,
+    hint_distance: f64,
+    speedup: f64,
+    nodes_reduction: f64,
+}
+
+fn median_ops_per_s(run: impl Fn() -> u64) -> f64 {
+    let mut samples: Vec<f64> = (0..TRIALS)
+        .map(|_| run() as f64 / TRIAL_LEN.as_secs_f64())
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn run_lane(name: &'static str, sparse: bool) -> Lane {
+    let unbatched = {
+        let ops_per_s = median_ops_per_s(|| run_trial(false, sparse, None));
+        let stats = AccessStats::new(THREADS);
+        let _ = run_trial(false, sparse, Some(&stats));
+        let t = stats.totals();
+        Mode {
+            ops_per_s,
+            nodes_per_search: t.traversed as f64 / t.searches.max(1) as f64,
+        }
+    };
+    eprintln!(
+        "[{name}] unbatched: {:>12.0} ops/s, {:>6.2} nodes/search",
+        unbatched.ops_per_s, unbatched.nodes_per_search
+    );
+
+    let (batched, mean_batch, hint_distance) = {
+        let ops_per_s = median_ops_per_s(|| run_trial(true, sparse, None));
+        let stats = AccessStats::new(THREADS);
+        let _ = run_trial(true, sparse, Some(&stats));
+        let t = stats.totals();
+        (
+            Mode {
+                ops_per_s,
+                nodes_per_search: t.traversed as f64 / t.searches.max(1) as f64,
+            },
+            t.batched_ops as f64 / t.batches.max(1) as f64,
+            t.hinted_traversed as f64 / t.hinted_searches.max(1) as f64,
+        )
+    };
+    eprintln!(
+        "[{name}]   batched: {:>12.0} ops/s, {:>6.2} nodes/search, mean batch {:.1}, \
+         hint-hit distance {:.2}",
+        batched.ops_per_s, batched.nodes_per_search, mean_batch, hint_distance
+    );
+
+    let speedup = batched.ops_per_s / unbatched.ops_per_s;
+    let nodes_reduction = 1.0 - batched.nodes_per_search / unbatched.nodes_per_search;
+    eprintln!(
+        "[{name}] speedup {speedup:.2}x, nodes/search reduction {:.0}%",
+        nodes_reduction * 100.0
+    );
+    Lane {
+        name,
+        unbatched,
+        batched,
+        mean_batch,
+        hint_distance,
+        speedup,
+        nodes_reduction,
+    }
+}
+
+fn lane_json(l: &Lane) -> String {
+    format!(
+        "    \"{}\": {{\n      \"unbatched\": {{ \"ops_per_s\": {:.0}, \"nodes_per_search\": {:.2} }},\n      \
+         \"batched\": {{ \"ops_per_s\": {:.0}, \"nodes_per_search\": {:.2}, \
+         \"mean_batch\": {:.1}, \"hint_hit_distance\": {:.2} }},\n      \
+         \"speedup\": {:.2},\n      \"nodes_per_search_reduction\": {:.2}\n    }}",
+        l.name,
+        l.unbatched.ops_per_s,
+        l.unbatched.nodes_per_search,
+        l.batched.ops_per_s,
+        l.batched.nodes_per_search,
+        l.mean_batch,
+        l.hint_distance,
+        l.speedup,
+        l.nodes_reduction,
+    )
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    eprintln!(
+        "# bench_batch: mc-wh + zipf({ZIPF_ALPHA}), {THREADS} threads, batch {BATCH}, \
+         median of {TRIALS} x {TRIAL_LEN:?}"
+    );
+
+    let sparse = run_lane("sparse", true);
+    let lazy = run_lane("lazy", false);
+    let gate = &sparse;
+
+    let json = format!(
+        "{{\n  \"bench\": \"batch_combining_smoke\",\n  \"threads\": {THREADS},\n  \
+         \"zipf_alpha\": {ZIPF_ALPHA},\n  \"batch_size\": {BATCH},\n  \"lanes\": {{\n{},\n{}\n  }},\n  \
+         \"gate_lane\": \"{}\",\n  \"speedup\": {:.2},\n  \
+         \"nodes_per_search_reduction\": {:.2}\n}}\n",
+        lane_json(&sparse),
+        lane_json(&lazy),
+        gate.name,
+        gate.speedup,
+        gate.nodes_reduction,
+    );
+
+    let out = std::env::var("BENCH_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap_or(&manifest)
+            .join("BENCH_3.json")
+    });
+    let mut failed = false;
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", out.display());
+            failed = true;
+        }
+    }
+    print!("{json}");
+
+    if check {
+        if gate.speedup < MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: [{}] batched speedup {:.2}x < required {MIN_SPEEDUP:.1}x",
+                gate.name, gate.speedup
+            );
+            failed = true;
+        }
+        if gate.nodes_reduction < MIN_NODES_REDUCTION {
+            eprintln!(
+                "FAIL: [{}] nodes/search reduction {:.0}% < required {:.0}%",
+                gate.name,
+                gate.nodes_reduction * 100.0,
+                MIN_NODES_REDUCTION * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,11 +6,58 @@
 //! the relink optimization (Alg. 3 line 14), upper-level linking
 //! (`finishInsert`, Alg. 10), and the eager (non-lazy) logical deletion.
 
-use super::{NodePtr, SearchResult, SkipGraph};
+use super::{NodePtr, NodeRef, SearchResult, SkipGraph};
 use crate::node::Node;
 use crate::sync::TagPtr;
 use instrument::ThreadCtx;
 use std::ptr::NonNull;
+
+/// A resumable search frontier for executing a *sorted run* of operations:
+/// each `*_with_hint` operation stores the predecessor vector of its final
+/// search here, and the next operation of the run resumes from it instead
+/// of the head array (see [`SkipGraph::search_hinted`]).
+///
+/// The chain is only valid for the graph it was produced on and for
+/// non-descending keys; start a fresh chain per sorted run. Holds raw node
+/// pointers, so it is deliberately neither `Send` nor `Sync` and must not
+/// outlive the graph.
+pub struct HintChain<K, V> {
+    res: Option<SearchResult<K, V>>,
+}
+
+impl<K, V> HintChain<K, V> {
+    /// An empty chain: the first operation searches from the head array.
+    pub fn new() -> Self {
+        Self { res: None }
+    }
+
+    /// The level-0 predecessor of the most recent search, when it is a
+    /// data node — the "last predecessor" a layered handle tombstones a
+    /// removed key to so later jump starts stay near the erased position.
+    pub fn last_pred(&self) -> Option<NodeRef<K, V>> {
+        let res = self.res.as_ref()?;
+        let p = res.preds[0];
+        if !p.is_null() && unsafe { &*p }.is_data() {
+            Some(NodeRef(unsafe { NonNull::new_unchecked(p) }))
+        } else {
+            None
+        }
+    }
+}
+
+impl<K, V> Default for HintChain<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for HintChain<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HintChain")
+            .field("primed", &self.res.is_some())
+            .finish()
+    }
+}
 
 impl<K: Ord, V> SkipGraph<K, V> {
     /// Alg. 2, `insertHelper`: linearizes an insertion against an existing
@@ -283,6 +330,148 @@ impl<K: Ord, V> SkipGraph<K, V> {
             return None;
         }
         Some(unsafe { node.value() }.clone())
+    }
+
+    /// Inserts `key -> value` resuming the search from `chain` (sorted-run
+    /// hint chaining), and leaves the final predecessor frontier in `chain`
+    /// for the run's next operation. Keys fed to one chain must be
+    /// non-descending. `start`, when given, must be a fully inserted node
+    /// with key strictly below `key` carrying the caller's own membership
+    /// vector (a layered local-map jump-in, e.g. `prev_start`); each level
+    /// descends from whichever of chain frontier and start is furthest.
+    ///
+    /// Returns `(inserted, node)`: `node` is the graph node holding the key
+    /// after the call — the freshly linked (or lazily resurrected) node, or
+    /// the surviving duplicate on a failed non-lazy insert — so layered
+    /// callers can refresh their local structures in bulk.
+    pub(crate) fn insert_with_hint(
+        &self,
+        key: K,
+        value: V,
+        height: u8,
+        start: Option<NodePtr<K, V>>,
+        chain: &mut HintChain<K, V>,
+        ctx: &ThreadCtx,
+    ) -> (bool, Option<NodeRef<K, V>>) {
+        debug_assert!(height <= self.config().max_level);
+        let mvec = self.membership_of(ctx.id());
+        let lazy = self.config().lazy;
+        let mut pending = Some((key, value));
+        let mut node: Option<NonNull<Node<K, V>>> = None;
+        loop {
+            let mut res = {
+                let kref: &K = match node {
+                    Some(n) => unsafe { (*n.as_ptr()).key() },
+                    None => &pending.as_ref().expect("key pending").0,
+                };
+                self.search_hinted(kref, mvec, start, chain.res.as_ref(), !lazy, ctx)
+            };
+            if res.found {
+                let existing = res.succs[0];
+                let existing_ref = NodeRef(unsafe { NonNull::new_unchecked(existing) });
+                if lazy {
+                    match self.insert_helper(unsafe { &*existing }, ctx) {
+                        Some(outcome) => {
+                            chain.res = Some(res);
+                            return (outcome, Some(existing_ref));
+                        }
+                        None => continue, // became marked; retry the search
+                    }
+                }
+                chain.res = Some(res);
+                return (false, Some(existing_ref));
+            }
+            let n = *node.get_or_insert_with(|| {
+                let (k, v) = pending.take().expect("pending kv");
+                self.alloc_node(k, v, ctx, height)
+            });
+            if !self.try_link_level0(n, &res, ctx) {
+                continue;
+            }
+            let _ = self.link_upper(n, &mut res, ctx, || None);
+            // `res` still holds strict predecessors of the key (link_upper
+            // refreshes keep that invariant), so it is a valid frontier for
+            // the run's next, larger-or-equal key.
+            chain.res = Some(res);
+            return (true, Some(NodeRef(n)));
+        }
+    }
+
+    /// Removes `key` resuming the search from `chain`; see
+    /// [`SkipGraph::insert_with_hint`] for the chaining contract. Returns
+    /// whether a removal was linearized here. After a successful non-lazy
+    /// removal the chain's frontier reflects the post-cleanup position, so
+    /// [`HintChain::last_pred`] gives the surviving predecessor.
+    pub(crate) fn remove_with_hint(
+        &self,
+        key: &K,
+        start: Option<NodePtr<K, V>>,
+        chain: &mut HintChain<K, V>,
+        ctx: &ThreadCtx,
+    ) -> bool {
+        let mvec = self.membership_of(ctx.id());
+        if self.config().lazy {
+            loop {
+                let res = self.search_hinted(key, mvec, start, chain.res.as_ref(), false, ctx);
+                if !res.found {
+                    chain.res = Some(res);
+                    return false;
+                }
+                match self.remove_helper(unsafe { &*res.succs[0] }, ctx) {
+                    Some(outcome) => {
+                        chain.res = Some(res);
+                        return outcome;
+                    }
+                    None => continue,
+                }
+            }
+        } else {
+            loop {
+                let res = self.search_hinted(key, mvec, start, chain.res.as_ref(), true, ctx);
+                if !res.found {
+                    chain.res = Some(res);
+                    return false;
+                }
+                if self.logical_delete_eager(unsafe { &*res.succs[0] }, ctx) {
+                    // Physical cleanup pass; it also refreshes the frontier
+                    // past the chain we just marked.
+                    let res2 = self.search_hinted(key, mvec, start, Some(&res), true, ctx);
+                    chain.res = Some(res2);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Returns a clone of the value mapped to `key`, resuming the search
+    /// from `chain`; see [`SkipGraph::insert_with_hint`] for the chaining
+    /// contract.
+    pub(crate) fn get_with_hint(
+        &self,
+        key: &K,
+        start: Option<NodePtr<K, V>>,
+        chain: &mut HintChain<K, V>,
+        ctx: &ThreadCtx,
+    ) -> Option<V>
+    where
+        V: Clone,
+    {
+        let mvec = self.membership_of(ctx.id());
+        let res =
+            self.search_hinted(key, mvec, start, chain.res.as_ref(), !self.config().lazy, ctx);
+        let out = if res.found {
+            let node = unsafe { &*res.succs[0] };
+            let w0 = node.load_next(0, ctx);
+            if w0.marked() || (self.config().lazy && !w0.valid()) {
+                None
+            } else {
+                Some(unsafe { node.value() }.clone())
+            }
+        } else {
+            None
+        };
+        chain.res = Some(res);
+        out
     }
 
     /// Removes and returns the smallest present key (priority-queue

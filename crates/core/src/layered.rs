@@ -31,7 +31,8 @@
 //! assert!(!h.contains(&7));
 //! ```
 
-use crate::graph::{NodePtr, NodeRef, NodeRefHint, RangeIter, SkipGraph};
+use crate::batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome};
+use crate::graph::{HintChain, NodePtr, NodeRef, NodeRefHint, RangeIter, SkipGraph};
 use crate::local::{BTreeLocalMap, LocalMap, RobinHoodMap};
 use crate::params::GraphConfig;
 use crate::sparse_height;
@@ -39,11 +40,16 @@ use instrument::ThreadCtx;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hash::Hash;
+use std::ptr::NonNull;
 
 /// A concurrent ordered map built by layering thread-local maps over a
 /// NUMA-partitioned skip graph.
 pub struct LayeredMap<K, V> {
     shared: SkipGraph<K, V>,
+    /// Present when the map was built with [`LayeredMap::with_batching`]:
+    /// the per-socket flat-combining executor that [`CombiningHandle`]s
+    /// publish to.
+    batch: Option<BatchExecutor<K, V>>,
 }
 
 impl<K: Ord, V> LayeredMap<K, V> {
@@ -51,7 +57,23 @@ impl<K: Ord, V> LayeredMap<K, V> {
     pub fn new(config: GraphConfig) -> Self {
         Self {
             shared: SkipGraph::new(config),
+            batch: None,
         }
+    }
+
+    /// Builds the map with the NUMA-local flat-combining executor attached
+    /// (`batch.threads()` must equal `config.num_threads`). Threads opt
+    /// into combining per handle via [`LayeredMap::register_combining`];
+    /// plain [`LayeredMap::register`] handles keep operating directly.
+    pub fn with_batching(config: GraphConfig, batch: BatchConfig) -> Self {
+        assert_eq!(
+            batch.threads(),
+            config.num_threads,
+            "batch config must cover exactly the registered threads"
+        );
+        let mut map = Self::new(config);
+        map.batch = Some(BatchExecutor::new(&batch));
+        map
     }
 
     /// The underlying shared structure.
@@ -65,8 +87,15 @@ impl<K: Ord, V> LayeredMap<K, V> {
     }
 
     /// Builds the map and loads it with `pairs` through thread slot 0
-    /// (single-threaded; a convenience for tests and cold starts — the
-    /// loaded nodes are all owned by slot 0's arena).
+    /// (single-threaded; a convenience for tests and cold starts). Every
+    /// loaded node is allocated from **slot 0's arena** — NUMA-local for
+    /// whichever socket runs the load, remote for readers elsewhere until
+    /// their own updates migrate hot keys.
+    ///
+    /// The load runs as one sorted hint-chained run
+    /// ([`LayeredHandle::extend`]): each insertion resumes from its
+    /// predecessor's frontier, so loading `n` pairs costs one full
+    /// traversal plus O(n) short hops instead of `n` independent searches.
     pub fn bulk_load<I>(config: GraphConfig, pairs: I) -> Self
     where
         K: Hash + Clone,
@@ -75,9 +104,7 @@ impl<K: Ord, V> LayeredMap<K, V> {
         let map = Self::new(config);
         {
             let mut h = map.register(ThreadCtx::plain(0));
-            for (k, v) in pairs {
-                let _ = h.insert(k, v);
-            }
+            let _ = h.extend(pairs);
         }
         map
     }
@@ -91,6 +118,13 @@ impl<K: Ord, V> LayeredMap<K, V> {
     /// operational counterpart. The caller must guarantee quiescence: the
     /// snapshot is a weak one, and handles to the *old* map keep operating
     /// on the old structure.
+    ///
+    /// Like [`LayeredMap::bulk_load`] (which implements the rebuild), every
+    /// rebuilt node lands in **slot 0's arena** regardless of which arena
+    /// owned it before — rebuilding trades the old map's accumulated NUMA
+    /// placement for compactness, and threads re-warm locality through
+    /// their own subsequent updates. The snapshot iterates in key order, so
+    /// the reload is a single sorted hint-chained run (O(n) short hops).
     pub fn rebuild(&self) -> Self
     where
         K: Hash + Clone,
@@ -140,6 +174,27 @@ impl<K: Ord, V> LayeredMap<K, V> {
             hash: RobinHoodMap::new(),
             rng: SmallRng::seed_from_u64(seed),
             ctx,
+        }
+    }
+
+    /// Registers the calling thread for *combined* execution: the returned
+    /// handle publishes every shared-structure operation to its socket's
+    /// flat-combining slot bank instead of executing it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was built without [`LayeredMap::with_batching`].
+    pub fn register_combining(&self, ctx: ThreadCtx) -> CombiningHandle<'_, K, V>
+    where
+        K: Hash + Clone,
+    {
+        let exec = self
+            .batch
+            .as_ref()
+            .expect("register_combining requires LayeredMap::with_batching");
+        CombiningHandle {
+            inner: self.register(ctx),
+            exec,
         }
     }
 }
@@ -219,6 +274,50 @@ where
     fn erase_local(&mut self, key: &K) {
         self.local.remove(key);
         self.hash.remove(key);
+    }
+
+    /// Retains a *tombstoned* hint after a non-lazy removal: maps the
+    /// removed key to the removed position's surviving predecessor, so
+    /// later operations near the erased key still jump into the shared
+    /// structure instead of degrading to head starts (the C3 artifact in
+    /// EXPERIMENTS.md: removal-heavy non-lazy runs used to empty the local
+    /// maps). Only the ordered local map gets the tombstone — the
+    /// hashtable answers membership directly and must stay exact. The
+    /// invariant `node.key <= mapped key` (equality for live entries,
+    /// strict for tombstones) keeps `get_start`/`prev_start` sound: a
+    /// start returned for a lookup of `k` always has key `<= k`, and
+    /// marked tombstone targets self-clean on the next backward walk.
+    ///
+    /// Only predecessors carrying **this thread's membership vector** are
+    /// retained: a start node's upper-level lists are selected by *its*
+    /// mvec prefix, and `eager_insert` links new towers through the
+    /// predecessors a start-based search collects — a foreign-mvec start
+    /// would splice the tower into another thread's constituent lists.
+    /// (The local structures previously only ever held self-inserted
+    /// nodes, which guaranteed this implicitly.)
+    /// Tombstones are **budgeted**: live ordered-map entries mirror the
+    /// hashtable (both are written under the same `should_index` gate),
+    /// so the surplus `local.len() - hash.len()` counts the tombstones
+    /// currently held. Installation stops once the surplus reaches
+    /// `TOMBSTONE_BUDGET` — churn-heavy runs otherwise fill the ordered
+    /// map with hints whose targets are already dead (each backward walk
+    /// must test and skip them), which measurably outweighs the better
+    /// starts. A small bounded pool is enough to keep the map from
+    /// emptying out, which is all C3 needs.
+    fn tombstone_local(&mut self, key: &K, pred: NodePtr<K, V>) {
+        const TOMBSTONE_BUDGET: usize = 64;
+        if self.local.len() >= self.hash.len() + TOMBSTONE_BUDGET {
+            return;
+        }
+        if pred.is_null() {
+            return;
+        }
+        let node = unsafe { &*pred };
+        if !node.is_data() || node.mvec() != self.mvec || node.is_marked(0) {
+            return;
+        }
+        self.local
+            .insert(key.clone(), NodeRef(unsafe { NonNull::new_unchecked(pred) }));
     }
 
     /// Alg. 9, `updateStart`: the closest preceding *fully inserted* start
@@ -391,9 +490,11 @@ where
                     let won = shared.logical_delete_eager(node, &self.ctx);
                     self.erase_local(key);
                     if won {
-                        // Physical cleanup pass.
+                        // Physical cleanup pass; its predecessor frontier
+                        // seeds the tombstoned hint (C3 mitigation).
                         let start = self.get_start(key, 0);
-                        let _ = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                        let res = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                        self.tombstone_local(key, res.preds[0]);
                     }
                     return won;
                 }
@@ -424,7 +525,9 @@ where
                     return false;
                 }
                 if shared.logical_delete_eager(unsafe { &*res.succs[0] }, &self.ctx) {
-                    let _ = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                    let res2 = shared.search_from(key, self.mvec, start, true, &self.ctx);
+                    self.erase_local(key);
+                    self.tombstone_local(key, res2.preds[0]);
                     return true;
                 }
             }
@@ -547,6 +650,335 @@ where
         self.range(start, end)
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
+    }
+
+    /// Bulk insert: sorts `pairs` ascending and executes them as a single
+    /// hint-chained run — each insertion's search resumes from the previous
+    /// one's predecessor frontier, so `n` pairs cost one full descent plus
+    /// O(n) short hops instead of `n` independent searches. Freshly linked
+    /// (and, lazily, resurrected) nodes are indexed into the local
+    /// structures under the usual `should_index` policy. Returns the number
+    /// of pairs actually inserted (duplicates are skipped, set semantics).
+    ///
+    /// The sort is stable, so duplicate keys within `pairs` keep their
+    /// order and only the first lands.
+    pub fn extend<I>(&mut self, pairs: I) -> usize
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut pairs: Vec<(K, V)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return 0;
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let total = pairs.len() as u64;
+        let map = self.map;
+        let shared = &map.shared;
+        let mut chain = HintChain::new();
+        let mut inserted = 0usize;
+        for (k, v) in pairs {
+            self.ctx.record_op();
+            let height = self.new_height();
+            let key = k.clone();
+            let (fresh, node) = shared.insert_with_hint(k, v, height, None, &mut chain, &self.ctx);
+            if fresh {
+                inserted += 1;
+            }
+            if let Some(r) = node {
+                let top = unsafe { r.0.as_ref() }.top_level();
+                if self.should_index(top) {
+                    self.local.insert(key.clone(), r);
+                    self.hash.insert(key, r);
+                }
+            }
+        }
+        self.ctx.record_batch(total);
+        inserted
+    }
+
+    /// Bulk remove: sorts `keys` ascending and executes the removals as a
+    /// single hint-chained run (see [`LayeredHandle::extend`]). Non-lazy
+    /// removals erase the exact hashtable mapping and leave a tombstoned
+    /// local-map hint to the surviving predecessor; lazy removals keep the
+    /// mappings (the node can be resurrected in place). Returns the number
+    /// of keys that were present.
+    pub fn remove_batch(&mut self, keys: &[K]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<&K> = keys.iter().collect();
+        sorted.sort();
+        let map = self.map;
+        let shared = &map.shared;
+        let lazy = self.lazy();
+        let mut chain = HintChain::new();
+        let mut removed = 0usize;
+        for key in sorted {
+            self.ctx.record_op();
+            if shared.remove_with_hint(key, None, &mut chain, &self.ctx) {
+                removed += 1;
+                if !lazy {
+                    self.erase_local(key);
+                    if let Some(p) = chain.last_pred() {
+                        self.tombstone_local(key, p.0.as_ptr());
+                    }
+                }
+            }
+        }
+        self.ctx.record_batch(keys.len() as u64);
+        removed
+    }
+
+    /// Executes one operation of a combined sorted run on behalf of the
+    /// flat-combining executor (this handle is the *combiner*). The search
+    /// starts from the further of the run's chain frontier and this
+    /// thread's local-map predecessor (`prev_start`) — the local maps, not
+    /// the graph's `≈ log2(threads)` levels, provide the long jump, so a
+    /// combined run without them would walk every key gap at the top level.
+    ///
+    /// The combiner also maintains *its own* local structures: fresh nodes
+    /// it allocates carry its membership vector and are indexed under the
+    /// usual policy (warming future combined runs), and removals erase/
+    /// tombstone exactly like [`LayeredHandle::remove_batch`]. The
+    /// submitting thread separately refreshes its structures from the
+    /// returned outcome.
+    /// Indexes a combined-run node into this handle's local structures,
+    /// skipping work when the hashtable already maps the key to the same
+    /// node (hot keys re-execute constantly under combining; re-inserting
+    /// into the ordered map every time would dominate the combiner's
+    /// per-operation cost).
+    fn index_combined(&mut self, key: &K, r: NodeRef<K, V>) {
+        if self.hash.get(key) == Some(&r) {
+            return;
+        }
+        let n = unsafe { r.0.as_ref() };
+        if self.should_index(n.top_level()) {
+            self.hash.insert(key.clone(), r);
+            if n.mvec() == self.mvec {
+                self.local.insert(key.clone(), r);
+            }
+        }
+    }
+
+    pub(crate) fn combined_op(
+        &mut self,
+        op: BatchOp<K, V>,
+        chain: &mut HintChain<K, V>,
+    ) -> BatchOutcome<K, V>
+    where
+        V: Clone,
+    {
+        let map = self.map;
+        let shared = &map.shared;
+        let lazy = self.lazy();
+        match op {
+            BatchOp::Insert(k, v) => {
+                // Hashtable fast path, as in [`LayeredHandle::insert`]: a
+                // present key resolves with one helper CAS and no search
+                // (the chain frontier is untouched, which is fine — it
+                // still precedes every later key of the sorted run).
+                if let Some(r) = self.hash.get(&k).copied() {
+                    let node = unsafe { r.0.as_ref() };
+                    if lazy {
+                        match shared.insert_helper(node, &self.ctx) {
+                            Some(fresh) => {
+                                return BatchOutcome::Inserted { fresh, node: Some(r) }
+                            }
+                            None => self.erase_local(&k), // marked: fall through
+                        }
+                    } else if !node.is_marked(0) {
+                        return BatchOutcome::Inserted { fresh: false, node: Some(r) };
+                    } else {
+                        self.erase_local(&k);
+                    }
+                }
+                let start = self.prev_start(&k, 0);
+                let height = self.new_height();
+                let key = k.clone();
+                let (fresh, node) =
+                    shared.insert_with_hint(k, v, height, start, chain, &self.ctx);
+                if let Some(r) = node {
+                    self.index_combined(&key, r);
+                }
+                BatchOutcome::Inserted { fresh, node }
+            }
+            BatchOp::Remove(k) => {
+                if let Some(r) = self.hash.get(&k).copied() {
+                    let node = unsafe { r.0.as_ref() };
+                    if lazy {
+                        match shared.remove_helper(node, &self.ctx) {
+                            Some(removed) => {
+                                return BatchOutcome::Removed { removed, pred: None }
+                            }
+                            None => self.erase_local(&k),
+                        }
+                    }
+                    // Non-lazy removals always need the cleanup search for
+                    // the tombstoned predecessor; no fast path.
+                }
+                let start = self.prev_start(&k, 0);
+                let removed = shared.remove_with_hint(&k, start, chain, &self.ctx);
+                let pred = chain.last_pred();
+                if removed && !lazy {
+                    self.erase_local(&k);
+                    if let Some(p) = pred {
+                        self.tombstone_local(&k, p.0.as_ptr());
+                    }
+                }
+                BatchOutcome::Removed { removed, pred }
+            }
+            BatchOp::Get(k) => {
+                if let Some(r) = self.hash.get(&k).copied() {
+                    let node = unsafe { r.0.as_ref() };
+                    let w0 = node.load_next(0, &self.ctx);
+                    if !w0.marked() {
+                        if !lazy || w0.valid() {
+                            return BatchOutcome::Got(Some(unsafe { node.value() }.clone()));
+                        }
+                        return BatchOutcome::Got(None);
+                    }
+                    self.erase_local(&k);
+                }
+                let start = self.prev_start(&k, 0);
+                BatchOutcome::Got(shared.get_with_hint(&k, start, chain, &self.ctx))
+            }
+        }
+    }
+}
+
+/// A per-thread handle that routes every shared-structure operation
+/// through the map's NUMA-local flat-combining executor (built with
+/// [`LayeredMap::with_batching`]). Single-key calls are one-element
+/// batches; [`CombiningHandle::execute_batch`] publishes many operations
+/// at once, which is where combining pays off.
+///
+/// Local-structure upkeep happens on the *submitting* thread after the
+/// combiner hands results back: fresh nodes are indexed under the same
+/// `should_index` policy as direct handles, and non-lazy removals leave
+/// the tombstoned predecessor hint (C3 mitigation).
+pub struct CombiningHandle<'m, K, V> {
+    inner: LayeredHandle<'m, K, V>,
+    exec: &'m BatchExecutor<K, V>,
+}
+
+impl<'m, K, V> CombiningHandle<'m, K, V>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+{
+    /// The recording context of this thread.
+    pub fn ctx(&self) -> &ThreadCtx {
+        &self.inner.ctx
+    }
+
+    /// The wrapped direct handle (operations through it bypass the
+    /// combiner; local structures are shared with combined execution).
+    pub fn direct(&mut self) -> &mut LayeredHandle<'m, K, V> {
+        &mut self.inner
+    }
+
+    /// Publishes `ops` to this thread's slot, waits for (or performs) the
+    /// combined execution, refreshes the local structures from the
+    /// outcomes, and returns the outcomes in submission order.
+    pub fn execute_batch(&mut self, ops: Vec<BatchOp<K, V>>) -> Vec<BatchOutcome<K, V>> {
+        let keys: Vec<K> = ops.iter().map(|op| op.key().clone()).collect();
+        for _ in &keys {
+            self.inner.ctx.record_op();
+        }
+        let exec = self.exec;
+        let (outs, self_combined) = exec.submit_tracked(&mut self.inner, ops);
+        // Self-combined operations ran through `combined_op` on this very
+        // handle and are already indexed; only a foreign combiner's
+        // write-back needs the local refresh.
+        if !self_combined {
+            for (key, out) in keys.iter().zip(outs.iter()) {
+                self.note(key, out);
+            }
+        }
+        outs
+    }
+
+    /// Refreshes the local structures from one combined outcome.
+    ///
+    /// Combined inserts allocate from the **combiner's** arena under the
+    /// combiner's membership vector. The hashtable (a pure membership fast
+    /// path) indexes them regardless, but the ordered local map — whose
+    /// entries are handed to `search_from` as start nodes and feed
+    /// upper-level linking — only takes nodes carrying this thread's own
+    /// mvec (see `tombstone_local` for why a foreign-mvec start is
+    /// unsound). When the submitter combined its own batch (the common
+    /// case) the mvecs match and indexing is unchanged.
+    fn note(&mut self, key: &K, out: &BatchOutcome<K, V>) {
+        let h = &mut self.inner;
+        match out {
+            BatchOutcome::Inserted { node: Some(r), .. } => {
+                // Hot keys resolve to the same node on every batch; skip
+                // the (comparatively costly) ordered-map insert then.
+                if h.hash.get(key) == Some(r) {
+                    return;
+                }
+                let node = unsafe { r.0.as_ref() };
+                if h.should_index(node.top_level()) {
+                    h.hash.insert(key.clone(), *r);
+                    if node.mvec() == h.mvec {
+                        h.local.insert(key.clone(), *r);
+                    }
+                }
+            }
+            BatchOutcome::Inserted { node: None, .. } => {}
+            BatchOutcome::Removed { removed, pred } => {
+                if *removed && !h.lazy() {
+                    h.erase_local(key);
+                    if let Some(p) = pred {
+                        h.tombstone_local(key, p.0.as_ptr());
+                    }
+                }
+                // Lazy removals keep the mappings: the node is only
+                // invalidated and can be resurrected in place.
+            }
+            BatchOutcome::Got(_) => {}
+        }
+    }
+
+    /// Inserts `key -> value` through the combiner. Returns `false` if the
+    /// key was present.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        match self.execute_batch(vec![BatchOp::Insert(key, value)]).pop() {
+            Some(BatchOutcome::Inserted { fresh, .. }) => fresh,
+            _ => unreachable!("insert answered with a non-insert outcome"),
+        }
+    }
+
+    /// Removes `key` through the combiner. Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self
+            .execute_batch(vec![BatchOp::Remove(key.clone())])
+            .pop()
+        {
+            Some(BatchOutcome::Removed { removed, .. }) => removed,
+            _ => unreachable!("remove answered with a non-remove outcome"),
+        }
+    }
+
+    /// Whether `key` is present (combined lookup).
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// A clone of the value mapped to `key`, if present (combined lookup).
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.execute_batch(vec![BatchOp::Get(key.clone())]).pop() {
+            Some(BatchOutcome::Got(v)) => v,
+            _ => unreachable!("get answered with a non-get outcome"),
+        }
+    }
+}
+
+impl<'m, K, V> std::fmt::Debug for CombiningHandle<'m, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CombiningHandle")
+            .field("thread", &self.inner.ctx.id())
+            .finish()
     }
 }
 

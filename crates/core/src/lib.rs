@@ -49,6 +49,7 @@
 //! });
 //! ```
 
+pub mod batch;
 #[cfg(feature = "deterministic")]
 pub mod det;
 mod graph;
@@ -62,10 +63,14 @@ pub mod sync;
 
 pub mod local;
 
+/// The NUMA-local flat-combining batch executor (see [`batch`](combine)).
+pub use self::batch as combine;
+pub use batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome, BatchedLayeredMap};
 pub use graph::{
-    MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter, StructureStats,
+    HintChain, MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter,
+    StructureStats,
 };
-pub use layered::{LayeredHandle, LayeredMap, ReadOnlyView};
+pub use layered::{CombiningHandle, LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};
 pub use mvec::{default_max_level, MembershipStrategy};
 pub use params::{GraphConfig, DEFAULT_COMMISSION_FACTOR};

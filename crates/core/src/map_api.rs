@@ -1,8 +1,9 @@
 //! The concurrent-map interface shared by the layered structures, the
 //! baselines, and the benchmark harness.
 
+use crate::batch::BatchedLayeredMap;
 use crate::graph::SkipGraph;
-use crate::layered::{LayeredHandle, LayeredMap};
+use crate::layered::{CombiningHandle, LayeredHandle, LayeredMap};
 use crate::sparse_height;
 use instrument::ThreadCtx;
 use rand::rngs::SmallRng;
@@ -69,6 +70,40 @@ where
     }
     fn ctx(&self) -> &ThreadCtx {
         LayeredHandle::ctx(self)
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for BatchedLayeredMap<K, V>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Handle<'a>
+        = CombiningHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn pin(&self, ctx: ThreadCtx) -> Self::Handle<'_> {
+        self.inner().register_combining(ctx)
+    }
+}
+
+impl<'m, K, V> MapHandle<K, V> for CombiningHandle<'m, K, V>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+{
+    fn insert(&mut self, key: K, value: V) -> bool {
+        CombiningHandle::insert(self, key, value)
+    }
+    fn remove(&mut self, key: &K) -> bool {
+        CombiningHandle::remove(self, key)
+    }
+    fn contains(&mut self, key: &K) -> bool {
+        CombiningHandle::contains(self, key)
+    }
+    fn ctx(&self) -> &ThreadCtx {
+        CombiningHandle::ctx(self)
     }
 }
 

@@ -234,6 +234,50 @@ impl<T> fmt::Debug for TaggedAtomic<T> {
     }
 }
 
+/// A plain atomic word routed through the execution facade: every access
+/// is a yield point of the deterministic scheduler, exactly like
+/// [`TaggedAtomic`]. Used for coordination words that are not tagged node
+/// pointers — the batch executor's publication-slot states and per-socket
+/// combiner leases — so the `deterministic` stress runner can interleave
+/// (and replay) combined executions at the same granularity as the data
+/// structure itself.
+#[derive(Debug)]
+pub struct FacadeAtomicUsize {
+    cell: AtomicUsize,
+}
+
+impl FacadeAtomicUsize {
+    /// A cell initialized to `v`.
+    pub const fn new(v: usize) -> Self {
+        Self {
+            cell: AtomicUsize::new(v),
+        }
+    }
+
+    /// Atomically loads the word (Acquire).
+    #[inline]
+    pub fn load(&self) -> usize {
+        facade_yield();
+        self.cell.load(Ordering::Acquire)
+    }
+
+    /// Atomically stores `v` (Release).
+    #[inline]
+    pub fn store(&self, v: usize) {
+        facade_yield();
+        self.cell.store(v, Ordering::Release);
+    }
+
+    /// Full-word compare-and-swap (AcqRel on success, Acquire on failure).
+    /// Returns the observed word on failure.
+    #[inline]
+    pub fn compare_exchange(&self, current: usize, new: usize) -> Result<usize, usize> {
+        facade_yield();
+        self.cell
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,12 @@
 //! Per-thread recording context and the shared statistics sink.
 
+use crate::histogram::LogHistogram;
 use crate::matrix::AccessMatrix;
 use cache_sim::{Hierarchy, MissCounts};
 use crossbeam_utils::CachePadded;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-thread scalar counters (single-writer; relaxed).
 #[derive(Debug, Default)]
@@ -15,6 +16,10 @@ struct ThreadCounters {
     cas_failures: AtomicU64,
     traversed: AtomicU64,
     searches: AtomicU64,
+    batches: AtomicU64,
+    batched_ops: AtomicU64,
+    hinted_searches: AtomicU64,
+    hinted_traversed: AtomicU64,
 }
 
 /// A read-only snapshot of one thread's scalar counters.
@@ -31,6 +36,15 @@ pub struct ThreadCounterSnapshot {
     pub traversed: u64,
     /// Number of shared-structure searches performed.
     pub searches: u64,
+    /// Combined batches this thread drained as the combiner.
+    pub batches: u64,
+    /// Operations executed inside those batches (own + other threads').
+    pub batched_ops: u64,
+    /// Searches that resumed from a sorted-run hint (subset of `searches`).
+    pub hinted_searches: u64,
+    /// Shared nodes visited by hinted searches (subset of `traversed`);
+    /// `hinted_traversed / hinted_searches` is the mean hint-hit distance.
+    pub hinted_traversed: u64,
 }
 
 /// Shared statistics sink for one experiment: thread-pair matrices plus
@@ -42,6 +56,9 @@ pub struct AccessStats {
     reads: AccessMatrix,
     cas: AccessMatrix,
     counters: Vec<CachePadded<ThreadCounters>>,
+    /// Batch-size distribution across all combiners (one sample per
+    /// drained batch; updated once per batch, so the lock is cold).
+    batch_sizes: Mutex<LogHistogram>,
 }
 
 impl AccessStats {
@@ -52,6 +69,7 @@ impl AccessStats {
             reads: AccessMatrix::new(threads),
             cas: AccessMatrix::new(threads),
             counters: (0..threads).map(|_| CachePadded::default()).collect(),
+            batch_sizes: Mutex::new(LogHistogram::new()),
         })
     }
 
@@ -74,7 +92,20 @@ impl AccessStats {
             cas_failures: c.cas_failures.load(Ordering::Relaxed),
             traversed: c.traversed.load(Ordering::Relaxed),
             searches: c.searches.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_ops: c.batched_ops.load(Ordering::Relaxed),
+            hinted_searches: c.hinted_searches.load(Ordering::Relaxed),
+            hinted_traversed: c.hinted_traversed.load(Ordering::Relaxed),
         }
+    }
+
+    /// A copy of the combined batch-size histogram (one sample per batch a
+    /// combiner drained).
+    pub fn batch_size_histogram(&self) -> LogHistogram {
+        self.batch_sizes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Sum of all thread snapshots.
@@ -87,6 +118,10 @@ impl AccessStats {
             t.cas_failures += s.cas_failures;
             t.traversed += s.traversed;
             t.searches += s.searches;
+            t.batches += s.batches;
+            t.batched_ops += s.batched_ops;
+            t.hinted_searches += s.hinted_searches;
+            t.hinted_traversed += s.hinted_traversed;
         }
         t
     }
@@ -242,6 +277,35 @@ impl ThreadCtx {
         }
     }
 
+    /// Records a finished *hinted* search (one that resumed from a
+    /// sorted-run predecessor frontier instead of the head or a local-map
+    /// jump). Callers record the search itself via
+    /// [`ThreadCtx::record_search`] as usual; this adds the hint-distance
+    /// attribution on top.
+    #[inline]
+    pub fn record_hinted_search(&self, nodes: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.hinted_searches.fetch_add(1, Ordering::Relaxed);
+            c.hinted_traversed.fetch_add(nodes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one combined batch of `ops` operations drained and executed
+    /// by this thread acting as a socket's combiner.
+    #[inline]
+    pub fn record_batch(&self, ops: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            c.batched_ops.fetch_add(ops, Ordering::Relaxed);
+            s.batch_sizes
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(ops);
+        }
+    }
+
     /// True when any recording sink is attached (used by structures to skip
     /// assembling record arguments on the fast path).
     #[inline]
@@ -267,6 +331,8 @@ mod tests {
         ctx.record_cas(1, 0x10, false);
         ctx.record_op();
         ctx.record_search(5);
+        ctx.record_hinted_search(2);
+        ctx.record_batch(8);
         assert_eq!(ctx.id(), 3);
         assert!(!ctx.is_recording());
         assert!(ctx.cache_counts().is_none());
@@ -290,6 +356,26 @@ mod tests {
         assert_eq!(t.traversed, 7);
         assert_eq!(t.searches, 1);
         assert_eq!(stats.totals().cas_attempts, 2);
+    }
+
+    #[test]
+    fn combiner_counters_and_batch_histogram() {
+        let stats = AccessStats::new(2);
+        let ctx = ThreadCtx::recording(0, stats.clone());
+        ctx.record_batch(8);
+        ctx.record_batch(64);
+        ctx.record_hinted_search(3);
+        ctx.record_hinted_search(5);
+        let t = stats.thread(0);
+        assert_eq!(t.batches, 2);
+        assert_eq!(t.batched_ops, 72);
+        assert_eq!(t.hinted_searches, 2);
+        assert_eq!(t.hinted_traversed, 8);
+        assert_eq!(stats.totals().batched_ops, 72);
+        let h = stats.batch_size_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 64);
+        assert_eq!(h.min(), 8);
     }
 
     #[test]

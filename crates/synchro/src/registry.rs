@@ -8,6 +8,7 @@
 //! | `layered_map_ssg` | local maps over a *sparse* skip graph |
 //! | `layered_map_ll` | local maps over a linked list (MaxLevel 0) |
 //! | `layered_map_sl` | local maps over a single skip list (no partitioning) |
+//! | `batched_layered_sg` | lazy layered map behind the NUMA-local flat-combining executor |
 //! | `skipgraph` | the skip graph without layering |
 //! | `skiplist` | lock-free skip list with the relink optimization |
 //! | `skiplist_norelink` | the same without relink (ablation) |
@@ -24,7 +25,7 @@ use baselines::{
     NumaskSkipList, RotatingSkipList, SkipListConfig,
 };
 use numa::{Placement, Topology};
-use skipgraph::{GraphConfig, LayeredMap, SkipGraph};
+use skipgraph::{BatchConfig, BatchedLayeredMap, GraphConfig, LayeredMap, SkipGraph};
 use std::time::Duration;
 
 /// All registry names, in the order the paper's figures list them.
@@ -34,6 +35,7 @@ pub const STRUCTURES: &[&str] = &[
     "layered_map_ssg",
     "layered_map_ll",
     "layered_map_sl",
+    "batched_layered_sg",
     "skipgraph",
     "skiplist",
     "skiplist_norelink",
@@ -101,6 +103,20 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
             workload,
             instr,
         ),
+        "batched_layered_sg" => {
+            // Slot banks follow the same placement the trial pins threads
+            // with, so each bank is genuinely per-NUMA-node.
+            let topology = Topology::detect_or_paper();
+            let batch = BatchConfig::from_placement(&Placement::new(&topology, t));
+            run_trial(
+                &BatchedLayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t).lazy(true).chunk_capacity(cap),
+                    batch,
+                ),
+                workload,
+                instr,
+            )
+        }
         "skipgraph" => run_trial(
             &SkipGraph::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap)),
             workload,

@@ -42,6 +42,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "layered_map_ssg",
     "layered_map_ll",
     "layered_map_sl",
+    "batched_layered_sg",
     "skipgraph",
     "skiplist",
     "skiplist_norelink",
@@ -373,7 +374,7 @@ macro_rules! with_structure {
             CoarseLockMap, HarrisList, LockFreeSkipList, LockedSkipList, NoHotspotSkipList,
             NumaskSkipList, RotatingSkipList, SkipListConfig,
         };
-        use skipgraph::{GraphConfig, LayeredMap, SkipGraph};
+        use skipgraph::{BatchConfig, BatchedLayeredMap, GraphConfig, LayeredMap, SkipGraph};
         let t = $cfg.threads as usize;
         let cap = (($cfg.key_space as usize / t.max(1)) * 2).clamp(1 << 10, 1 << 16);
         let maint = std::time::Duration::from_millis(2);
@@ -401,6 +402,16 @@ macro_rules! with_structure {
             "layered_map_sl" => {
                 let $map = LayeredMap::<u64, u64>::new(
                     GraphConfig::single_skip_list(t).chunk_capacity(cap),
+                );
+                $body
+            }
+            "batched_layered_sg" => {
+                // Two synthetic sockets (when threads allow) so the
+                // combiner lease and cross-slot draining are exercised.
+                let sockets = if t >= 2 { 2 } else { 1 };
+                let $map = BatchedLayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t).lazy(true).chunk_capacity(cap),
+                    BatchConfig::uniform(t, sockets),
                 );
                 $body
             }
