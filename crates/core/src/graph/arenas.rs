@@ -5,15 +5,27 @@
 //! slots after each node header. Allocating from the class matching a
 //! node's `top_level` gives every node exactly the tower it uses — the
 //! core of the truncated-tower layout — while preserving the paper's
-//! memory model: chunked, first-touched by the owner, never freed mid-run.
+//! memory model: chunked, first-touched by the owner.
 //!
 //! Because tower heights are geometrically distributed (P(h) = 2^-(h+1)
 //! under the sparse strategy), chunk capacities are halved per class so
 //! tall-node classes don't map mostly-empty chunks.
+//!
+//! # Recycling
+//!
+//! With reclamation on (`GraphConfig::reclaim`), each class additionally
+//! keeps a Treiber-stack **free list** of reclaimed slots, linked through
+//! the parked node's `next0` word. Any thread may push (the reclaimer
+//! collecting its limbo list returns each slot to the *owning* bank, so
+//! recycled memory keeps its first-touch NUMA placement); only the owner
+//! pops (allocation goes through the owner's bank), which makes the pop
+//! single-consumer and therefore ABA-free without counted pointers: a
+//! popped head cannot be pushed back concurrently with another pop.
 
 use crate::node::{Node, MAX_HEIGHT};
 use numa::arena::Arena;
 use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 /// Objects per chunk for class `h`, given the configured base capacity:
 /// halved per height, floored so even the tallest class batches some
@@ -22,9 +34,72 @@ fn class_capacity(base: usize, height: usize) -> usize {
     (base >> height).max((base / 16).max(1))
 }
 
-/// One thread's bank of per-height node arenas.
+/// A lock-free stack of reclaimed slots for one size class, linked through
+/// each parked node's `next0` cell. Multi-producer (any collecting
+/// thread), single-consumer (the owning thread's allocations).
+struct FreeList<K, V> {
+    head: AtomicPtr<Node<K, V>>,
+    len: AtomicUsize,
+}
+
+impl<K, V> FreeList<K, V> {
+    fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Parks a reclaimed slot (payload already released; kind is `Free`).
+    fn push(&self, node: NonNull<Node<K, V>>) {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // The slot is unreachable to everyone else, so the plain-ish
+            // (atomic, unrecorded) store of the link cannot race.
+            unsafe { node.as_ref() }.store_next(0, crate::sync::TagPtr::clean(head));
+            match self.head.compare_exchange_weak(
+                head,
+                node.as_ptr(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(cur) => head = cur,
+            }
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops a slot. Owner-thread only (single consumer).
+    fn pop(&self) -> Option<NonNull<Node<K, V>>> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let node = NonNull::new(head)?;
+            let next = unsafe { node.as_ref() }.load_next_raw(0).ptr();
+            match self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(node);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+/// One thread's bank of per-height node arenas (+ free lists).
 pub(crate) struct TowerArenas<K, V> {
     classes: [Arena<Node<K, V>>; MAX_HEIGHT],
+    free: [FreeList<K, V>; MAX_HEIGHT],
+    /// Allocations served from a free list instead of fresh arena slots.
+    recycled: AtomicUsize,
 }
 
 impl<K, V> TowerArenas<K, V> {
@@ -38,15 +113,31 @@ impl<K, V> TowerArenas<K, V> {
                 Node::<K, V>::tower_bytes(h),
             )
         });
-        Self { classes }
+        Self {
+            classes,
+            free: std::array::from_fn(|_| FreeList::new()),
+            recycled: AtomicUsize::new(0),
+        }
     }
 
     /// Allocates `header` in the size class of its `top_level` and attaches
-    /// the trailing tower. The returned node has all `top_level + 1`
-    /// next-slots initialized to null clean words.
+    /// the trailing tower, preferring a recycled slot from the class's free
+    /// list. The returned node has all `top_level + 1` next-slots
+    /// initialized to null clean words.
+    ///
+    /// Callers must be the bank's owning thread (the recycled-slot pop is
+    /// single-consumer).
     pub(crate) fn alloc(&self, header: Node<K, V>) -> NonNull<Node<K, V>> {
         let class = header.top_level() as usize;
         debug_assert!(class < MAX_HEIGHT);
+        if let Some(slot) = self.free[class].pop() {
+            // Safety: the slot was reclaimed from this very class (same
+            // trailing-byte layout), its grace period passed before it was
+            // pushed, and the pop made this thread its unique owner.
+            unsafe { Node::reinit_recycled(slot, header) };
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            return slot;
+        }
         let node = self.classes[class].alloc(header);
         // Safety: class `h` slots carry `tower_bytes(h)` zeroed trailing
         // bytes, exactly what attach_tower requires.
@@ -54,7 +145,22 @@ impl<K, V> TowerArenas<K, V> {
         node
     }
 
-    /// Total nodes allocated across all classes (monotonic).
+    /// Returns a reclaimed slot (payload released, kind `Free`) to its
+    /// size class's free list. Callable from any thread.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be a `Free` slot allocated from this bank whose grace
+    /// period has passed: no other thread may dereference it ever again
+    /// (stale cached pointers only probe its generation word atomically).
+    pub(crate) unsafe fn recycle(&self, node: NonNull<Node<K, V>>) {
+        let class = node.as_ref().top_level() as usize;
+        debug_assert!(class < MAX_HEIGHT);
+        self.free[class].push(node);
+    }
+
+    /// Total node slots ever carved from the arenas (monotonic; recycled
+    /// slots are not double-counted).
     pub(crate) fn allocated(&self) -> usize {
         self.classes.iter().map(|a| a.len()).sum()
     }
@@ -68,6 +174,25 @@ impl<K, V> TowerArenas<K, V> {
     /// resident upper bound; chunks are mapped lazily).
     pub(crate) fn mapped_bytes(&self) -> usize {
         self.classes.iter().map(|a| a.mapped_bytes()).sum()
+    }
+
+    /// Slots currently parked on this bank's free lists.
+    pub(crate) fn free_slots(&self) -> usize {
+        self.free.iter().map(FreeList::len).sum()
+    }
+
+    /// Bytes represented by the parked free-list slots.
+    pub(crate) fn free_bytes(&self) -> usize {
+        self.free
+            .iter()
+            .zip(self.classes.iter())
+            .map(|(f, a)| f.len() * a.slot_stride())
+            .sum()
+    }
+
+    /// Allocations served by recycling a free-listed slot.
+    pub(crate) fn recycled(&self) -> usize {
+        self.recycled.load(Ordering::Relaxed)
     }
 
     /// Adds this bank's per-height allocation counts into `out` (no
@@ -131,5 +256,52 @@ mod tests {
                 prev = c;
             }
         }
+    }
+
+    #[test]
+    fn recycled_slots_are_reused_in_their_class() {
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        let n = bank.alloc(Node::new_data(1u64, 10, 0, 0, 2, 0));
+        let fresh_after_one = bank.allocated();
+        unsafe {
+            Node::release_payload(n);
+            bank.recycle(n);
+        }
+        assert_eq!(bank.free_slots(), 1);
+        assert!(bank.free_bytes() > 0);
+        // Same class: the recycled slot is handed back.
+        let m = bank.alloc(Node::new_data(2u64, 20, 0, 0, 2, 1));
+        assert_eq!(m, n, "slot must be recycled, not freshly carved");
+        assert_eq!(bank.recycled(), 1);
+        assert_eq!(bank.free_slots(), 0);
+        assert_eq!(bank.allocated(), fresh_after_one, "no new slot carved");
+        let mr = unsafe { m.as_ref() };
+        assert!(mr.is_data());
+        assert_eq!(unsafe { *mr.key() }, 2);
+        for level in 0..=2usize {
+            assert!(mr.load_next_raw(level).ptr().is_null());
+        }
+        // A different class never sees it.
+        let other = bank.alloc(Node::new_data(3u64, 30, 0, 0, 1, 2));
+        assert_ne!(other, n);
+        assert_eq!(bank.recycled(), 1);
+    }
+
+    #[test]
+    fn free_list_is_lifo_per_class() {
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        let a = bank.alloc(Node::new_data(1u64, 1, 0, 0, 0, 0));
+        let b = bank.alloc(Node::new_data(2u64, 2, 0, 0, 0, 0));
+        unsafe {
+            Node::release_payload(a);
+            bank.recycle(a);
+            Node::release_payload(b);
+            bank.recycle(b);
+        }
+        assert_eq!(bank.free_slots(), 2);
+        assert_eq!(bank.alloc(Node::new_data(3u64, 3, 0, 0, 0, 1)), b);
+        assert_eq!(bank.alloc(Node::new_data(4u64, 4, 0, 0, 0, 1)), a);
+        assert_eq!(bank.free_slots(), 0);
+        assert_eq!(bank.recycled(), 2);
     }
 }

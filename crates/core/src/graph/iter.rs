@@ -1,6 +1,6 @@
 //! Bottom-level snapshot iteration.
 
-use super::{NodePtr, SkipGraph};
+use super::{NodePtr, PinGuard, SkipGraph};
 use instrument::ThreadCtx;
 
 /// An iterator over the live `(key, value)` pairs of the bottom list.
@@ -9,10 +9,15 @@ use instrument::ThreadCtx;
 /// the moment it passes it, which is the usual guarantee for lock-free list
 /// traversal (concurrent updates may or may not be observed). Created by
 /// [`SkipGraph::iter_snapshot`].
+///
+/// The iterator holds a reclamation pin for its whole lifetime, so every
+/// node it passes stays allocated. With reclamation enabled, yielded
+/// references must therefore not outlive the iterator.
 pub struct SnapshotIter<'g, K, V> {
     graph: &'g SkipGraph<K, V>,
     ctx: &'g ThreadCtx,
     cur: NodePtr<K, V>,
+    _pin: PinGuard<'g, K, V>,
 }
 
 impl<K: Ord, V> SkipGraph<K, V> {
@@ -22,6 +27,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
             graph: self,
             ctx,
             cur: self.head(0, 0),
+            _pin: self.pin(ctx),
         }
     }
 

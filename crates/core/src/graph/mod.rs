@@ -31,6 +31,7 @@ use crate::mvec::{list_suffix, membership_vectors};
 use crate::node::{Node, MAX_HEIGHT};
 use crate::params::GraphConfig;
 use crate::prefetch::prefetch_read;
+use crate::reclaim::EpochReclaim;
 use crate::sync::TagPtr;
 use arenas::TowerArenas;
 use instrument::ThreadCtx;
@@ -39,23 +40,93 @@ use std::ptr::NonNull;
 
 pub(crate) type NodePtr<K, V> = *mut Node<K, V>;
 
-/// Commission-period time source. Under the deterministic scheduler the
-/// TSC would make `check_retire` depend on wall-clock time and break
-/// replay, so an active scheduled thread uses its logical step count
-/// instead (monotonic, and a pure function of the schedule).
+/// Commission-period time source, shared with the epoch-reclamation
+/// protocol so one logical clock drives both decisions (see
+/// [`crate::reclaim::logical_now`]): deterministic scheduler steps under
+/// `--features deterministic` (monotonic, a pure function of the
+/// schedule), TSC cycles otherwise.
 #[inline]
 fn cycles() -> u64 {
-    #[cfg(feature = "deterministic")]
-    if let Some(step) = crate::det::active_step() {
-        return step;
+    crate::reclaim::logical_now()
+}
+
+/// Offset added to a captured generation when the node was already dying
+/// (marked at level 0) at capture time: the poisoned value can never
+/// validate against the slot's future incarnations, so the reference is
+/// permanently stale. (A false revalidation would need exactly `2^31`
+/// retirements of the same slot between capture and use — the same
+/// wrap-around exposure any 32-bit tag scheme accepts.)
+const GEN_POISON: u32 = 1 << 31;
+
+/// Captures the generation identifying the incarnation of `p` that is
+/// currently linked. Load order matters: the generation is read *before*
+/// the level-0 mark probe. Retirement bumps the generation only after the
+/// level-0 mark is set (marking is top-down and the bump follows full
+/// unlinking), so observing the cell unmarked *after* the generation load
+/// proves the loaded value belongs to the live incarnation — not to a
+/// retired one whose slot could be recycled under a different key. A
+/// marked observation poisons the capture instead.
+///
+/// Callers must hold a reclamation pin (nodes reached by a pinned
+/// traversal cannot be recycled while the pin lasts; see
+/// [`crate::reclaim`]).
+fn capture_gen<K, V>(p: NodePtr<K, V>) -> u32 {
+    let gen = unsafe { Node::generation_of(NonNull::new_unchecked(p)) };
+    if unsafe { &*p }.load_next_raw(0).marked() {
+        gen.wrapping_add(GEN_POISON)
+    } else {
+        gen
     }
-    instrument::time::cycles()
 }
 
 /// An opaque reference to a shared node, as stored by the thread-local
-/// structures. Valid for as long as the owning [`SkipGraph`] is alive
-/// (nodes are arena-allocated and never freed mid-run).
-pub struct NodeRef<K, V>(pub(crate) NonNull<Node<K, V>>);
+/// structures. The slot stays dereferenceable for as long as the owning
+/// [`SkipGraph`] is alive (arena chunks are never unmapped mid-run), but
+/// with reclamation enabled its *contents* may belong to a later
+/// incarnation: every dereference goes through the generation check of
+/// [`NodeRef::node`].
+pub struct NodeRef<K, V> {
+    pub(crate) ptr: NonNull<Node<K, V>>,
+    /// Generation of the node when the reference was captured; retirement
+    /// bumps the node's counter, so a stale reference fails validation.
+    pub(crate) gen: u32,
+}
+
+impl<K, V> NodeRef<K, V> {
+    /// Captures a reference to `ptr`, recording the generation of its
+    /// current incarnation (see [`capture_gen`] for the load-order
+    /// protocol). Must be called under a reclamation pin, on a node the
+    /// pinned traversal legitimately reached.
+    pub(crate) fn new(ptr: NonNull<Node<K, V>>) -> Self {
+        Self {
+            ptr,
+            gen: capture_gen(ptr.as_ptr()),
+        }
+    }
+
+    /// The raw pointer, with no generation check. Only for identity
+    /// comparisons and for passing to searches *after* [`Self::node`]
+    /// validated the reference under the current pin.
+    pub(crate) fn as_ptr(&self) -> NodePtr<K, V> {
+        self.ptr.as_ptr()
+    }
+
+    /// Generation-checked dereference: `Some` while the node has not been
+    /// retired since capture. Callers must hold a reclamation pin on the
+    /// owning graph: validation proves the incarnation is not yet retired,
+    /// and the pin is what then blocks its recycling for as long as the
+    /// returned reference is used.
+    pub(crate) fn node(&self) -> Option<&Node<K, V>> {
+        // The generation word is read through an atomic projection (never
+        // through a `&Node`), so probing a slot that is concurrently being
+        // reinitialized for a new incarnation is race-free.
+        if unsafe { Node::generation_of(self.ptr) } == self.gen {
+            Some(unsafe { self.ptr.as_ref() })
+        } else {
+            None
+        }
+    }
+}
 
 impl<K, V> Clone for NodeRef<K, V> {
     fn clone(&self) -> Self {
@@ -65,13 +136,13 @@ impl<K, V> Clone for NodeRef<K, V> {
 impl<K, V> Copy for NodeRef<K, V> {}
 impl<K, V> PartialEq for NodeRef<K, V> {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self.ptr == other.ptr && self.gen == other.gen
     }
 }
 impl<K, V> Eq for NodeRef<K, V> {}
 impl<K, V> std::fmt::Debug for NodeRef<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NodeRef({:p})", self.0)
+        write!(f, "NodeRef({:p}, gen={})", self.ptr, self.gen)
     }
 }
 
@@ -81,6 +152,11 @@ pub(crate) struct SearchResult<K, V> {
     pub preds: [NodePtr<K, V>; MAX_HEIGHT],
     pub middles: [TagPtr<Node<K, V>>; MAX_HEIGHT],
     pub succs: [NodePtr<K, V>; MAX_HEIGHT],
+    /// Generation of each predecessor's incarnation at capture time
+    /// (possibly poisoned; see [`capture_gen`]). Consulted when a *later*
+    /// operation adopts the predecessor as a hint — within the search's
+    /// own pin the raw pointers are valid as-is.
+    pub pred_gens: [u32; MAX_HEIGHT],
     /// `succs[0]` is an unmarked data node with the goal key.
     pub found: bool,
 }
@@ -91,7 +167,23 @@ impl<K, V> SearchResult<K, V> {
             preds: [std::ptr::null_mut(); MAX_HEIGHT],
             middles: [TagPtr::null(); MAX_HEIGHT],
             succs: [std::ptr::null_mut(); MAX_HEIGHT],
+            pred_gens: [0; MAX_HEIGHT],
             found: false,
+        }
+    }
+}
+
+/// An RAII reclamation pin (see [`SkipGraph::pin`]). While any guard for a
+/// thread is alive, every node its traversals reach is protected from
+/// recycling. Inert when reclamation is disabled.
+pub(crate) struct PinGuard<'g, K, V> {
+    domain: Option<(&'g EpochReclaim<K, V>, usize)>,
+}
+
+impl<K, V> Drop for PinGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some((domain, tid)) = self.domain {
+            domain.unpin(tid);
         }
     }
 }
@@ -116,6 +208,9 @@ pub struct SkipGraph<K, V> {
     /// Sentinel arena bank (owner tag 0, matching the paper's attribution
     /// of head accesses to one arbitrary thread).
     _sentinels: TowerArenas<K, V>,
+    /// The epoch-based reclamation domain (inert unless
+    /// `GraphConfig::reclaim`): limbo lists, pins, and the global epoch.
+    reclaim: EpochReclaim<K, V>,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipGraph<K, V> {}
@@ -182,13 +277,139 @@ impl<K: Ord, V> SkipGraph<K, V> {
         let arenas = (0..config.num_threads)
             .map(|t| TowerArenas::new(t as u16, config.chunk_capacity))
             .collect();
+        let reclaim = EpochReclaim::new(config.reclaim, config.num_threads);
         Self {
             config,
             membership,
             heads: heads.into_boxed_slice(),
             arenas,
             _sentinels: sentinels,
+            reclaim,
         }
+    }
+
+    /// Pins the calling thread against reclamation for the guard's
+    /// lifetime (re-entrant; inert when reclamation is disabled). Every
+    /// public operation takes a pin around its traversal; layered handles
+    /// take one around local-map validation plus the shared operation, so
+    /// a validated [`NodeRef`] stays dereferenceable through the op.
+    ///
+    /// An outermost pin periodically quiesces first — tries to advance the
+    /// global epoch and collects the thread's own limbo list — so
+    /// reclamation makes progress without a dedicated maintenance thread.
+    pub(crate) fn pin(&self, ctx: &ThreadCtx) -> PinGuard<'_, K, V> {
+        if !self.reclaim.enabled() {
+            return PinGuard { domain: None };
+        }
+        let tid = ctx.id() as usize;
+        if !self.reclaim.is_pinned(tid) && self.reclaim.op_tick(tid) {
+            if self.reclaim.try_advance() {
+                ctx.record_epoch_advance();
+            }
+            let freed = self.reclaim.collect(tid, |p| self.free_node(p));
+            if freed > 0 {
+                ctx.record_recycle(freed as u64);
+            }
+        }
+        self.reclaim.pin(tid);
+        PinGuard {
+            domain: Some((&self.reclaim, tid)),
+        }
+    }
+
+    /// Releases one reclaimed node: drops its payload and parks the slot
+    /// on the free list of its size class in the *owning* thread's arena
+    /// bank, preserving first-touch NUMA placement.
+    ///
+    /// Only called from limbo-list collection (grace period passed) or for
+    /// never-published nodes.
+    fn free_node(&self, node: NonNull<Node<K, V>>) {
+        unsafe {
+            let owner = node.as_ref().owner() as usize;
+            Node::release_payload(node);
+            self.arenas[owner].recycle(node);
+        }
+    }
+
+    /// Walks the frozen chain of marked level-`level` references from
+    /// `first` (exclusive of `end`) that a relink CAS just unlinked,
+    /// recording the unlink on each node; a node observed unlinked from
+    /// *every* level of its tower is retired onto the calling thread's
+    /// limbo list. No-op with reclamation disabled.
+    ///
+    /// Each chain node's level-`level` reference is marked, hence
+    /// immutable, so the raw walk is stable; and a successful relink is
+    /// the unique event unlinking these nodes at this level (the cell
+    /// pointing at each chain node is frozen — only the relinked cell
+    /// could still reach them), so per-(node, level) reports never race.
+    pub(crate) fn note_unlinked_chain(
+        &self,
+        first: NodePtr<K, V>,
+        end: NodePtr<K, V>,
+        level: usize,
+        ctx: &ThreadCtx,
+    ) {
+        if !self.reclaim.enabled() {
+            return;
+        }
+        let mut cur = first;
+        while cur != end {
+            let node = unsafe { &*cur };
+            debug_assert!(node.is_data());
+            let w = node.load_next_raw(level);
+            debug_assert!(w.marked(), "unlinked chains are frozen");
+            if node.note_unlinked(level) {
+                // Safety: fully unlinked, reported exactly once (the
+                // completing fetch_or), and we are pinned.
+                unsafe {
+                    self.reclaim
+                        .retire(ctx.id() as usize, NonNull::new_unchecked(cur));
+                }
+                ctx.record_retire();
+            }
+            cur = w.ptr();
+        }
+    }
+
+    /// Immediately recycles a node that was allocated but never published
+    /// (no grace period needed: no other thread ever saw it). With
+    /// reclamation disabled the node is simply left to the arena, matching
+    /// the paper's never-free model.
+    pub(crate) fn discard_unpublished(&self, node: NonNull<Node<K, V>>, ctx: &ThreadCtx) {
+        if !self.reclaim.enabled() {
+            return;
+        }
+        self.free_node(node);
+        ctx.record_recycle(1);
+    }
+
+    /// Drives reclamation to a fixed point from a quiescent caller: runs
+    /// enough epoch advancements to age every current limbo entry past its
+    /// grace period and collects every thread's limbo list. Returns the
+    /// number of slots recycled. Intended for tests, benchmarks, and
+    /// maintenance windows; concurrent pinned threads may block some
+    /// advancements (the flush is then merely partial).
+    pub fn reclaim_flush(&self, ctx: &ThreadCtx) -> usize {
+        if !self.reclaim.enabled() {
+            return 0;
+        }
+        debug_assert!(
+            !self.reclaim.is_pinned(ctx.id() as usize),
+            "reclaim_flush requires a quiescent caller"
+        );
+        let mut freed = 0;
+        for _ in 0..=crate::reclaim::GRACE_EPOCHS {
+            if self.reclaim.try_advance() {
+                ctx.record_epoch_advance();
+            }
+            for tid in 0..self.reclaim.slot_count() {
+                freed += self.reclaim.collect(tid, |p| self.free_node(p));
+            }
+        }
+        if freed > 0 {
+            ctx.record_recycle(freed as u64);
+        }
+        freed
     }
 
     /// The membership vector of a registered thread.
@@ -384,7 +605,10 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 if skipped && unlink && !middle.marked() {
                     // Relink: one CAS snips the whole marked chain.
                     match prev_ref.cas_next(level, middle, middle.with_ptr(succ), ctx) {
-                        Ok(()) => middle = middle.with_ptr(succ),
+                        Ok(()) => {
+                            self.note_unlinked_chain(middle.ptr(), succ, level, ctx);
+                            middle = middle.with_ptr(succ)
+                        }
                         Err(_) => continue, // re-read this level from prev
                     }
                 }
@@ -397,6 +621,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 res.preds[level] = prev;
                 res.middles[level] = middle;
                 res.succs[level] = succ;
+                if self.reclaim.enabled() {
+                    res.pred_gens[level] = capture_gen(prev);
+                }
                 break;
             }
         }
@@ -425,10 +652,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
     ///   below `key`, so adopting one can never overshoot (this also covers
     ///   duplicate keys in a batch — the frontier stops strictly before the
     ///   key, at the cost of one extra hop);
-    /// * nodes are never freed mid-run, so a stale hint predecessor stays
-    ///   dereferenceable; if it was removed meanwhile, its frozen next
-    ///   pointers still lead to the live region and [`Self::skip_chain`]
-    ///   walks over the marked chain as usual;
+    /// * a stale hint predecessor stays dereferenceable: without
+    ///   reclamation nodes are never freed mid-run; with it, the per-level
+    ///   generation gate rejects retired predecessors and the caller's pin
+    ///   keeps every accepted one from being recycled. If the pred was
+    ///   merely removed meanwhile, its frozen next pointers still lead to
+    ///   the live region and [`Self::skip_chain`] walks over the marked
+    ///   chain as usual;
     /// * a search may start from *any* node's top level (the skip-graph
     ///   property), so hint predecessors allocated under a different
     ///   membership vector than `mvec` are still valid entry points.
@@ -471,10 +701,18 @@ impl<K: Ord, V> SkipGraph<K, V> {
             // NOT adopted: marked references are immutable, so a linking
             // caller could never CAS through it, and (lazy mode never
             // unlinking it) retrying with the same hint would re-adopt it
-            // forever — the fresh-descent path skips it instead.
+            // forever — the fresh-descent path skips it instead. With
+            // reclamation on, a generation gate comes first: a pred
+            // retired since the hint's search (its slot possibly recycled
+            // under a different key) fails the check and the fresh-descent
+            // frontier stands in.
             if let Some(h) = hint {
                 let hp = h.preds[level];
-                if !hp.is_null() {
+                if !hp.is_null()
+                    && (!self.reclaim.enabled()
+                        || unsafe { Node::generation_of(NonNull::new_unchecked(hp)) }
+                            == h.pred_gens[level])
+                {
                     let hp_ref = unsafe { &*hp };
                     if hp_ref.is_data() && !hp_ref.load_next(level, ctx).marked() {
                         let prev_ref = unsafe { &*prev };
@@ -502,7 +740,10 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 let (succ, skipped) = self.skip_chain(middle.ptr(), level, ctx, &mut visited);
                 if skipped && unlink && !middle.marked() {
                     match prev_ref.cas_next(level, middle, middle.with_ptr(succ), ctx) {
-                        Ok(()) => middle = middle.with_ptr(succ),
+                        Ok(()) => {
+                            self.note_unlinked_chain(middle.ptr(), succ, level, ctx);
+                            middle = middle.with_ptr(succ)
+                        }
                         Err(_) => continue,
                     }
                 }
@@ -515,6 +756,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 res.preds[level] = prev;
                 res.middles[level] = middle;
                 res.succs[level] = succ;
+                if self.reclaim.enabled() {
+                    res.pred_gens[level] = capture_gen(prev);
+                }
                 break;
             }
         }

@@ -34,11 +34,19 @@ impl<K, V> HintChain<K, V> {
     /// The level-0 predecessor of the most recent search, when it is a
     /// data node — the "last predecessor" a layered handle tombstones a
     /// removed key to so later jump starts stay near the erased position.
+    /// The reference carries the generation captured by the search, so a
+    /// predecessor retired since then fails its validation downstream.
     pub fn last_pred(&self) -> Option<NodeRef<K, V>> {
         let res = self.res.as_ref()?;
         let p = res.preds[0];
+        // `is_data` only reads the atomic meta word, so probing a slot
+        // that was recycled since the search is race-free; the generation
+        // below then keeps a recycled slot from validating.
         if !p.is_null() && unsafe { &*p }.is_data() {
-            Some(NodeRef(unsafe { NonNull::new_unchecked(p) }))
+            Some(NodeRef {
+                ptr: unsafe { NonNull::new_unchecked(p) },
+                gen: res.pred_gens[0],
+            })
         } else {
             None
         }
@@ -143,8 +151,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
         // Fresh nodes are published unmarked and valid.
         node_ref.store_next(0, TagPtr::clean(res.succs[0]));
         let pred = unsafe { &*res.preds[0] };
-        pred.cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
-            .is_ok()
+        let ok = pred
+            .cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
+            .is_ok();
+        if ok {
+            // The insert substituted the captured marked chain: those
+            // nodes are now unlinked at level 0.
+            self.note_unlinked_chain(m0.ptr(), res.succs[0], 0, ctx);
+        }
+        ok
     }
 
     /// Alg. 10, `finishInsert`: links `node` at levels `1..=top_level` of
@@ -201,6 +216,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
                         .cas_next(level, m, m.with_ptr(node_nn.as_ptr()), ctx)
                         .is_ok()
                     {
+                        self.note_unlinked_chain(m.ptr(), res.succs[level], level, ctx);
                         break; // this level is linked; proceed upward
                     }
                 }
@@ -223,6 +239,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     /// unmarked duplicate fails the insertion.
     pub fn insert_with_height(&self, key: K, value: V, height: u8, ctx: &ThreadCtx) -> bool {
         debug_assert!(height <= self.config().max_level);
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let unlink = !self.config().lazy;
         let mut pending = Some((key, value));
@@ -239,9 +256,17 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 let existing = unsafe { &*res.succs[0] };
                 if self.config().lazy {
                     match self.insert_helper(existing, ctx) {
-                        Some(outcome) => return outcome,
+                        Some(outcome) => {
+                            if let Some(n) = node.take() {
+                                self.discard_unpublished(n, ctx);
+                            }
+                            return outcome;
+                        }
                         None => continue, // became marked; retry
                     }
+                }
+                if let Some(n) = node.take() {
+                    self.discard_unpublished(n, ctx);
                 }
                 return false;
             }
@@ -267,6 +292,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     /// Removes `key`, searching from the head array. Returns whether the
     /// key was present (a successful removal was linearized here).
     pub fn remove(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         if self.config().lazy {
             loop {
@@ -301,6 +327,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     /// Whether `key` is present (unmarked, and valid under the lazy
     /// configuration).
     pub fn contains(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
         if !res.found {
@@ -319,6 +346,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     where
         V: Clone,
     {
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
         if !res.found {
@@ -354,6 +382,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         ctx: &ThreadCtx,
     ) -> (bool, Option<NodeRef<K, V>>) {
         debug_assert!(height <= self.config().max_level);
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let lazy = self.config().lazy;
         let mut pending = Some((key, value));
@@ -368,15 +397,21 @@ impl<K: Ord, V> SkipGraph<K, V> {
             };
             if res.found {
                 let existing = res.succs[0];
-                let existing_ref = NodeRef(unsafe { NonNull::new_unchecked(existing) });
+                let existing_ref = NodeRef::new(unsafe { NonNull::new_unchecked(existing) });
                 if lazy {
                     match self.insert_helper(unsafe { &*existing }, ctx) {
                         Some(outcome) => {
+                            if let Some(n) = node.take() {
+                                self.discard_unpublished(n, ctx);
+                            }
                             chain.res = Some(res);
                             return (outcome, Some(existing_ref));
                         }
                         None => continue, // became marked; retry the search
                     }
+                }
+                if let Some(n) = node.take() {
+                    self.discard_unpublished(n, ctx);
                 }
                 chain.res = Some(res);
                 return (false, Some(existing_ref));
@@ -393,7 +428,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
             // refreshes keep that invariant), so it is a valid frontier for
             // the run's next, larger-or-equal key.
             chain.res = Some(res);
-            return (true, Some(NodeRef(n)));
+            return (true, Some(NodeRef::new(n)));
         }
     }
 
@@ -409,6 +444,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         chain: &mut HintChain<K, V>,
         ctx: &ThreadCtx,
     ) -> bool {
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         if self.config().lazy {
             loop {
@@ -456,6 +492,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
     where
         V: Clone,
     {
+        let _pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let res =
             self.search_hinted(key, mvec, start, chain.res.as_ref(), !self.config().lazy, ctx);
@@ -487,6 +524,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         K: Clone,
         V: Clone,
     {
+        let _pin = self.pin(ctx);
         let lazy = self.config().lazy;
         let mut prev = self.head(0, 0);
         loop {
@@ -515,7 +553,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
             }
             if skipped && !middle.marked() {
                 // Best effort: unlink the dead prefix in one CAS.
-                let _ = prev_ref.cas_next(0, middle, middle.with_ptr(cur), ctx);
+                if prev_ref.cas_next(0, middle, middle.with_ptr(cur), ctx).is_ok() {
+                    self.note_unlinked_chain(middle.ptr(), cur, 0, ctx);
+                }
             }
             let node = unsafe { &*cur };
             if node.is_tail() {

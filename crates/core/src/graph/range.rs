@@ -6,17 +6,22 @@
 //! bound. Like [`super::SnapshotIter`], the scan is a weak snapshot: each
 //! node's liveness is observed as it is passed.
 
-use super::{NodePtr, SkipGraph};
+use super::{NodePtr, PinGuard, SkipGraph};
 use instrument::ThreadCtx;
 use std::ops::Bound;
 
 /// Iterator over live `(key, value)` pairs within a key range, in
 /// ascending order. Created by [`SkipGraph::range`].
+///
+/// The iterator holds a reclamation pin for its whole lifetime, so every
+/// node it passes stays allocated. With reclamation enabled, yielded
+/// references must therefore not outlive the iterator.
 pub struct RangeIter<'g, K, V> {
     graph: &'g SkipGraph<K, V>,
     ctx: &'g ThreadCtx,
     cur: NodePtr<K, V>,
     end: Bound<K>,
+    _pin: PinGuard<'g, K, V>,
 }
 
 impl<K: Ord + Clone, V> SkipGraph<K, V> {
@@ -30,6 +35,7 @@ impl<K: Ord + Clone, V> SkipGraph<K, V> {
         start_hint: Option<NodeRefHint<K, V>>,
         ctx: &'g ThreadCtx,
     ) -> RangeIter<'g, K, V> {
+        let pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let hint = start_hint.map(|h| h.0);
         // Position `cur` at the last node *before* the range so the
@@ -56,6 +62,7 @@ impl<K: Ord + Clone, V> SkipGraph<K, V> {
             ctx,
             cur,
             end,
+            _pin: pin,
         }
     }
 

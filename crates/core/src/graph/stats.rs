@@ -131,10 +131,16 @@ impl<K: Ord, V> SkipGraph<K, V> {
         let mut height_histogram = [0usize; MAX_HEIGHT];
         let mut allocated_bytes = 0;
         let mut resident_bytes = 0;
+        let mut free_slots = 0;
+        let mut free_bytes = 0;
+        let mut recycled_slots = 0;
         for bank in self.arenas.iter() {
             bank.histogram_into(&mut height_histogram);
             allocated_bytes += bank.allocated_bytes();
             resident_bytes += bank.mapped_bytes();
+            free_slots += bank.free_slots();
+            free_bytes += bank.free_bytes();
+            recycled_slots += bank.recycled();
         }
         MemoryStats {
             live,
@@ -144,6 +150,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
             allocated_bytes,
             resident_bytes,
             height_histogram,
+            limbo_nodes: self.reclaim.limbo_nodes(),
+            retired_nodes: self.reclaim.retired_total(),
+            global_epoch: self.reclaim.global_epoch(),
+            epoch_advances: self.reclaim.epoch_advances(),
+            recycled_slots,
+            free_slots,
+            free_bytes,
         }
     }
 }
@@ -169,6 +182,25 @@ pub struct MemoryStats {
     pub resident_bytes: usize,
     /// Allocated nodes per tower height (`[h]` = nodes with `top_level == h`).
     pub height_histogram: [usize; MAX_HEIGHT],
+    /// Retired nodes awaiting their grace period on limbo lists (zero with
+    /// reclamation disabled).
+    pub limbo_nodes: usize,
+    /// Nodes ever retired (monotonic; `retired_nodes - limbo_nodes` have
+    /// been returned to the free lists or recycled).
+    pub retired_nodes: usize,
+    /// The reclaimer's current global epoch.
+    pub global_epoch: usize,
+    /// Successful epoch advancements (equals `global_epoch` for the life
+    /// of one graph; kept separate for instrumented diffing).
+    pub epoch_advances: usize,
+    /// Allocations that were served by recycling a reclaimed slot instead
+    /// of carving a fresh one (monotonic).
+    pub recycled_slots: usize,
+    /// Reclaimed slots currently parked on arena free lists.
+    pub free_slots: usize,
+    /// Bytes represented by those parked slots (header + truncated tower,
+    /// per size class).
+    pub free_bytes: usize,
 }
 
 impl MemoryStats {
@@ -301,6 +333,53 @@ mod tests {
         assert_eq!(s.invalid, m.invalid);
         assert_eq!(s.allocated(), m.allocated);
         assert_eq!(g.allocated_nodes(), m.allocated);
+    }
+
+    #[test]
+    fn memory_stats_report_reclamation_lifecycle() {
+        let g: SkipGraph<u64, u64> = SkipGraph::new(
+            GraphConfig::new(2)
+                .max_level(2)
+                .reclaim(true)
+                .chunk_capacity(256),
+        );
+        let c = ThreadCtx::plain(0);
+        for k in 0..40u64 {
+            assert!(g.insert_with_height(k, k, 1, &c));
+        }
+        for k in 0..20u64 {
+            assert!(g.remove(&k, &c));
+        }
+        // Eager removal relinks every level, so each removed node is fully
+        // unlinked and retired; the grace period has not passed yet.
+        let m = g.memory_stats(&c);
+        assert_eq!(m.live, 20);
+        assert_eq!(m.retired_nodes, 20);
+        assert_eq!(m.limbo_nodes, 20);
+        assert_eq!(m.free_slots, 0);
+        assert_eq!(m.allocated, 40);
+        // Age the limbo entries past the grace period and collect.
+        assert_eq!(g.reclaim_flush(&c), 20);
+        let m = g.memory_stats(&c);
+        assert_eq!(m.limbo_nodes, 0);
+        assert_eq!(m.free_slots, 20);
+        let stride = std::mem::size_of::<crate::node::Node<u64, u64>>()
+            + crate::node::Node::<u64, u64>::tower_bytes(1);
+        assert_eq!(m.free_bytes, 20 * stride);
+        assert_eq!(m.recycled_slots, 0);
+        // New inserts of the same height are served from the free list:
+        // the arena footprint does not grow.
+        for k in 100..120u64 {
+            assert!(g.insert_with_height(k, k, 1, &c));
+        }
+        let m = g.memory_stats(&c);
+        assert_eq!(m.recycled_slots, 20);
+        assert_eq!(m.free_slots, 0);
+        assert_eq!(m.free_bytes, 0);
+        assert_eq!(m.allocated, 40, "recycling kept the footprint flat");
+        assert_eq!(m.live, 40);
+        assert_eq!(g.keys(&c).len(), 40);
+        assert!(g.check_invariants().is_ok());
     }
 
     #[test]

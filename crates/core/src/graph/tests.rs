@@ -410,3 +410,115 @@ fn pop_min_under_concurrent_inserts() {
     let c = ctx(0);
     assert_eq!(g.len(&c) + n, 1200);
 }
+
+// ---------------------------------------------------------------------------
+// Epoch-based reclamation: retire/recycle lifecycle and generation checks.
+// ---------------------------------------------------------------------------
+
+fn reclaiming(threads: usize) -> SkipGraph<u64, u64> {
+    SkipGraph::new(
+        GraphConfig::new(threads)
+            .max_level(2)
+            .reclaim(true)
+            .chunk_capacity(256),
+    )
+}
+
+#[test]
+fn generation_checks_catch_stale_references() {
+    let g = reclaiming(2);
+    let c = ctx(0);
+    assert!(g.insert_with_height(10, 10, 1, &c));
+    let res = g.search_from(&10, g.membership_of(0), None, false, &c);
+    assert!(res.found);
+    let live = NodeRef::new(NonNull::new(res.succs[0]).unwrap());
+    assert!(live.node().is_some(), "freshly captured reference validates");
+    assert!(g.remove(&10, &c));
+    // Retirement bumps the generation: the reference is invalid even
+    // before the slot is recycled.
+    assert!(live.node().is_none(), "retired node must fail validation");
+    assert_eq!(g.reclaim_flush(&c), 1);
+    // Recycle the slot under a different key; the impostor must not
+    // satisfy the stale reference either.
+    assert!(g.insert_with_height(11, 11, 1, &c));
+    let m = g.memory_stats(&c);
+    assert_eq!(m.recycled_slots, 1, "the freed slot was reused");
+    assert!(live.node().is_none(), "recycled impostor must not validate");
+}
+
+#[test]
+fn references_captured_from_marked_nodes_are_poisoned() {
+    let g = reclaiming(2);
+    let c = ctx(0);
+    assert!(g.insert_with_height(10, 10, 1, &c));
+    let res = g.search_from(&10, g.membership_of(0), None, false, &c);
+    let node = unsafe { &*res.succs[0] };
+    // Mark the node without unlinking it (the first half of an eager
+    // removal): a capture taken *after* the mark may belong to either
+    // incarnation, so it must never validate.
+    assert!(g.logical_delete_eager(node, &c));
+    let poisoned = NodeRef::new(NonNull::new(res.succs[0]).unwrap());
+    assert!(poisoned.node().is_none(), "capture on a marked node is poisoned");
+}
+
+#[test]
+fn stale_hint_chain_falls_back_after_recycling() {
+    let g = reclaiming(2);
+    let c = ctx(0);
+    let mut chain = HintChain::new();
+    for k in [10u64, 20, 30] {
+        let (fresh, _) = g.insert_with_hint(k, k, 1, None, &mut chain, &c);
+        assert!(fresh);
+    }
+    // The chain's level-0 frontier references node 20 (the predecessor of
+    // the last insertion). Retire it, age it past the grace period, and
+    // recycle its slot under a different key.
+    assert!(g.remove(&20, &c));
+    assert_eq!(g.reclaim_flush(&c), 1);
+    assert!(g.insert_with_height(15, 15, 1, &c));
+    assert_eq!(g.memory_stats(&c).recycled_slots, 1);
+    // Resuming the run must reject the stale frontier (generation check)
+    // and fall back to a fresh search instead of jumping in at the
+    // impostor.
+    let (fresh, _) = g.insert_with_hint(40, 40, 1, None, &mut chain, &c);
+    assert!(fresh);
+    assert_eq!(g.keys(&c), vec![10, 15, 30, 40]);
+    assert!(g.check_invariants().is_ok());
+}
+
+#[test]
+fn churn_with_recycling_keeps_the_footprint_flat() {
+    let g = reclaiming(2);
+    let c = ctx(0);
+    const WINDOW: u64 = 16;
+    const TOTAL: u64 = 400;
+    for i in 0..TOTAL {
+        let height = (i % 3) as u8; // rotate through every size class
+        assert!(g.insert_with_height(i, i, height, &c));
+        if i >= WINDOW {
+            assert!(g.remove(&(i - WINDOW), &c));
+        }
+        if i % 50 == 49 {
+            g.reclaim_flush(&c);
+        }
+    }
+    let m = g.memory_stats(&c);
+    assert_eq!(m.live, WINDOW as usize);
+    assert_eq!(m.retired_nodes as u64, TOTAL - WINDOW);
+    assert!(
+        m.recycled_slots as u64 > (TOTAL - WINDOW) / 2,
+        "most inserts should reuse freed slots (recycled {})",
+        m.recycled_slots
+    );
+    assert!(
+        m.allocated < 200,
+        "footprint must plateau near the live set, not the insert total \
+         (allocated {})",
+        m.allocated
+    );
+    assert_eq!(
+        g.keys(&c),
+        (TOTAL - WINDOW..TOTAL).collect::<Vec<_>>()
+    );
+    assert!(g.check_invariants().is_ok());
+}

@@ -304,20 +304,26 @@ where
     /// must test and skip them), which measurably outweighs the better
     /// starts. A small bounded pool is enough to keep the map from
     /// emptying out, which is all C3 needs.
-    fn tombstone_local(&mut self, key: &K, pred: NodePtr<K, V>) {
+    fn tombstone_local(&mut self, key: &K, pred: NodeRef<K, V>) {
         const TOMBSTONE_BUDGET: usize = 64;
         if self.local.len() >= self.hash.len() + TOMBSTONE_BUDGET {
             return;
         }
-        if pred.is_null() {
-            return;
-        }
-        let node = unsafe { &*pred };
+        // Generation-validated under the caller's pin: a predecessor that
+        // was retired (or whose slot was recycled) since its generation was
+        // captured is silently dropped rather than installed as a hint.
+        let Some(node) = pred.node() else { return };
         if !node.is_data() || node.mvec() != self.mvec || node.is_marked(0) {
             return;
         }
-        self.local
-            .insert(key.clone(), NodeRef(unsafe { NonNull::new_unchecked(pred) }));
+        self.local.insert(key.clone(), pred);
+    }
+
+    /// Wraps a search's level-0 predecessor frontier (pointer + captured
+    /// generation) for [`LayeredHandle::tombstone_local`]. Returns `None`
+    /// for the null pointer of an empty [`SearchResult`].
+    fn frontier_ref(pred: NodePtr<K, V>, gen: u32) -> Option<NodeRef<K, V>> {
+        NonNull::new(pred).map(|ptr| NodeRef { ptr, gen })
     }
 
     /// Alg. 9, `updateStart`: the closest preceding *fully inserted* start
@@ -329,12 +335,16 @@ where
         let mut cursor = key.clone();
         loop {
             let (k, r) = self.local.pred(&cursor)?;
-            let node = unsafe { r.0.as_ref() };
-            let usable = node.is_inserted()
-                && node.top_level() >= min_top
-                && (!node.is_marked(0) || !node.is_marked(node.top_level() as usize));
+            // Generation check under the caller's pin: a stale reference
+            // (slot retired or recycled since capture) is stepped over —
+            // `get_start` erases such entries on its next walk.
+            let usable = r.node().map_or(false, |node| {
+                node.is_inserted()
+                    && node.top_level() >= min_top
+                    && (!node.is_marked(0) || !node.is_marked(node.top_level() as usize))
+            });
             if usable {
-                return Some(r.0.as_ptr());
+                return Some(r.as_ptr());
             }
             cursor = k.clone();
         }
@@ -349,13 +359,20 @@ where
             .max_lower_equal(key)
             .map(|(k, r)| (k.clone(), r));
         while let Some((k, r)) = probe {
-            let node = unsafe { r.0.as_ref() };
+            let Some(node) = r.node() else {
+                // The slot was retired (possibly recycled for a different
+                // key) since the reference was captured: erase the stale
+                // mapping and keep walking backwards.
+                self.erase_local(&k);
+                probe = self.local.pred(&k).map(|(k2, r2)| (k2.clone(), r2));
+                continue;
+            };
             let mark0 = node.is_marked(0);
             let mark_top = node.is_marked(node.top_level() as usize);
             if !mark0 || !mark_top {
                 if node.is_inserted() {
                     if node.top_level() >= min_top {
-                        return Some(r.0.as_ptr()); // found fully inserted
+                        return Some(r.as_ptr()); // found fully inserted
                     }
                     // Alive but too short to start from: step back.
                 } else {
@@ -365,13 +382,13 @@ where
                     let start2 = self.prev_start(&k, top);
                     let mut res = shared.search_from(&k, self.mvec, start2, false, &self.ctx);
                     let finished = res.found
-                        && res.succs[0] == r.0.as_ptr()
-                        && shared.link_upper(r.0, &mut res, &self.ctx, || {
+                        && res.succs[0] == r.as_ptr()
+                        && shared.link_upper(r.ptr, &mut res, &self.ctx, || {
                             self.prev_start(&k, top)
                         });
                     if finished {
                         if node.top_level() >= min_top {
-                            return Some(r.0.as_ptr()); // just fully inserted
+                            return Some(r.as_ptr()); // just fully inserted
                         }
                     } else {
                         self.erase_local(&k); // insertion could not complete
@@ -388,19 +405,28 @@ where
     /// Inserts `key -> value`. Returns `false` if the key was present.
     pub fn insert(&mut self, key: K, value: V) -> bool {
         self.ctx.record_op();
-        let shared = &self.map.shared;
+        let map = self.map;
+        let shared = &map.shared;
+        // Pin for the whole operation: local-structure references are
+        // generation-validated under this pin, which is what keeps their
+        // targets from being recycled while we dereference them.
+        let _pin = shared.pin(&self.ctx);
         // Fast path: the local hashtable (Alg. 1 / Alg. 2).
         if let Some(r) = self.hash.get(&key).copied() {
-            let node = unsafe { r.0.as_ref() };
-            if self.lazy() {
-                match shared.insert_helper(node, &self.ctx) {
-                    Some(outcome) => return outcome,
-                    None => self.erase_local(&key), // marked: fall through
+            match r.node() {
+                None => self.erase_local(&key), // stale: fall through
+                Some(node) => {
+                    if self.lazy() {
+                        match shared.insert_helper(node, &self.ctx) {
+                            Some(outcome) => return outcome,
+                            None => self.erase_local(&key), // marked: fall through
+                        }
+                    } else if !node.is_marked(0) {
+                        return false; // duplicate
+                    } else {
+                        self.erase_local(&key);
+                    }
                 }
-            } else if !node.is_marked(0) {
-                return false; // duplicate
-            } else {
-                self.erase_local(&key);
             }
         }
         let height = self.new_height();
@@ -432,8 +458,9 @@ where
                 shared.alloc_node(key.clone(), v, &self.ctx, height)
             });
             if shared.try_link_level0(n, &res, &self.ctx) {
-                self.local.insert(key.clone(), NodeRef(n));
-                self.hash.insert(key, NodeRef(n));
+                let r = NodeRef::new(n);
+                self.local.insert(key.clone(), r);
+                self.hash.insert(key, r);
                 return true;
             }
             start = self.prev_start(&key, 0); // updateStart (Alg. 3 line 15)
@@ -465,8 +492,9 @@ where
             let _ =
                 shared.link_upper(n, &mut res, &self.ctx, || self.prev_start(&key, height));
             if self.should_index(height) {
-                self.local.insert(key.clone(), NodeRef(n));
-                self.hash.insert(key, NodeRef(n));
+                let r = NodeRef::new(n);
+                self.local.insert(key.clone(), r);
+                self.hash.insert(key, r);
             }
             return true;
         }
@@ -475,30 +503,40 @@ where
     /// Removes `key`. Returns whether it was present.
     pub fn remove(&mut self, key: &K) -> bool {
         self.ctx.record_op();
-        let shared = &self.map.shared;
+        let map = self.map;
+        let shared = &map.shared;
+        let _pin = shared.pin(&self.ctx);
         // Fast path (Alg. 11 / Alg. 12).
         if let Some(r) = self.hash.get(key).copied() {
-            let node = unsafe { r.0.as_ref() };
-            if self.lazy() {
-                match shared.remove_helper(node, &self.ctx) {
-                    Some(outcome) => return outcome,
-                    None => self.erase_local(key), // marked: fall through
-                }
-            } else {
-                let w0 = node.load_next(0, &self.ctx);
-                if !w0.marked() {
-                    let won = shared.logical_delete_eager(node, &self.ctx);
-                    self.erase_local(key);
-                    if won {
-                        // Physical cleanup pass; its predecessor frontier
-                        // seeds the tombstoned hint (C3 mitigation).
-                        let start = self.get_start(key, 0);
-                        let res = shared.search_from(key, self.mvec, start, true, &self.ctx);
-                        self.tombstone_local(key, res.preds[0]);
+            match r.node() {
+                None => self.erase_local(key), // stale: fall through
+                Some(node) => {
+                    if self.lazy() {
+                        match shared.remove_helper(node, &self.ctx) {
+                            Some(outcome) => return outcome,
+                            None => self.erase_local(key), // marked: fall through
+                        }
+                    } else {
+                        let w0 = node.load_next(0, &self.ctx);
+                        if !w0.marked() {
+                            let won = shared.logical_delete_eager(node, &self.ctx);
+                            self.erase_local(key);
+                            if won {
+                                // Physical cleanup pass; its predecessor frontier
+                                // seeds the tombstoned hint (C3 mitigation).
+                                let start = self.get_start(key, 0);
+                                let res =
+                                    shared.search_from(key, self.mvec, start, true, &self.ctx);
+                                if let Some(p) = Self::frontier_ref(res.preds[0], res.pred_gens[0])
+                                {
+                                    self.tombstone_local(key, p);
+                                }
+                            }
+                            return won;
+                        }
+                        self.erase_local(key);
                     }
-                    return won;
                 }
-                self.erase_local(key);
             }
         }
         if self.lazy() {
@@ -527,7 +565,9 @@ where
                 if shared.logical_delete_eager(unsafe { &*res.succs[0] }, &self.ctx) {
                     let res2 = shared.search_from(key, self.mvec, start, true, &self.ctx);
                     self.erase_local(key);
-                    self.tombstone_local(key, res2.preds[0]);
+                    if let Some(p) = Self::frontier_ref(res2.preds[0], res2.pred_gens[0]) {
+                        self.tombstone_local(key, p);
+                    }
                     return true;
                 }
             }
@@ -537,13 +577,16 @@ where
     /// Whether `key` is present.
     pub fn contains(&mut self, key: &K) -> bool {
         self.ctx.record_op();
-        let shared = &self.map.shared;
+        let map = self.map;
+        let shared = &map.shared;
+        let _pin = shared.pin(&self.ctx);
         // Alg. 6: speculative hashtable hit.
         if let Some(r) = self.hash.get(key).copied() {
-            let node = unsafe { r.0.as_ref() };
-            let w0 = node.load_next(0, &self.ctx);
-            if !w0.marked() {
-                return !self.lazy() || w0.valid();
+            if let Some(node) = r.node() {
+                let w0 = node.load_next(0, &self.ctx);
+                if !w0.marked() {
+                    return !self.lazy() || w0.valid();
+                }
             }
             self.erase_local(key);
         }
@@ -567,15 +610,18 @@ where
         V: Clone,
     {
         self.ctx.record_op();
-        let shared = &self.map.shared;
+        let map = self.map;
+        let shared = &map.shared;
+        let _pin = shared.pin(&self.ctx);
         if let Some(r) = self.hash.get(key).copied() {
-            let node = unsafe { r.0.as_ref() };
-            let w0 = node.load_next(0, &self.ctx);
-            if !w0.marked() {
-                if !self.lazy() || w0.valid() {
-                    return Some(unsafe { node.value() }.clone());
+            if let Some(node) = r.node() {
+                let w0 = node.load_next(0, &self.ctx);
+                if !w0.marked() {
+                    if !self.lazy() || w0.valid() {
+                        return Some(unsafe { node.value() }.clone());
+                    }
+                    return None;
                 }
-                return None;
             }
             self.erase_local(key);
         }
@@ -629,13 +675,17 @@ where
         // hint holding the bound key itself would make the positioning
         // search start *at* (and therefore skip) the first in-range node
         // (point operations avoid this case via the hashtable fast path).
+        // The hint is validated under this pin; `range` itself pins before
+        // the handle pin drops, so coverage is continuous.
+        let map = self.map;
+        let _pin = map.shared.pin(&self.ctx);
         let hint = match &start {
             std::ops::Bound::Included(k) | std::ops::Bound::Excluded(k) => {
                 self.prev_start(k, 0).map(NodeRefHint)
             }
             std::ops::Bound::Unbounded => None,
         };
-        self.map.shared.range(start, end, hint, &self.ctx)
+        map.shared.range(start, end, hint, &self.ctx)
     }
 
     /// Collects the live pairs within the range.
@@ -678,6 +728,10 @@ where
         let mut inserted = 0usize;
         for (k, v) in pairs {
             self.ctx.record_op();
+            // Per-iteration pin: the chain's frontier is generation-checked
+            // at adoption, so quiescing between operations is safe and lets
+            // reclamation progress during long runs.
+            let _pin = shared.pin(&self.ctx);
             let height = self.new_height();
             let key = k.clone();
             let (fresh, node) = shared.insert_with_hint(k, v, height, None, &mut chain, &self.ctx);
@@ -685,10 +739,11 @@ where
                 inserted += 1;
             }
             if let Some(r) = node {
-                let top = unsafe { r.0.as_ref() }.top_level();
-                if self.should_index(top) {
-                    self.local.insert(key.clone(), r);
-                    self.hash.insert(key, r);
+                if let Some(n) = r.node() {
+                    if self.should_index(n.top_level()) {
+                        self.local.insert(key.clone(), r);
+                        self.hash.insert(key, r);
+                    }
                 }
             }
         }
@@ -715,12 +770,13 @@ where
         let mut removed = 0usize;
         for key in sorted {
             self.ctx.record_op();
+            let _pin = shared.pin(&self.ctx);
             if shared.remove_with_hint(key, None, &mut chain, &self.ctx) {
                 removed += 1;
                 if !lazy {
                     self.erase_local(key);
                     if let Some(p) = chain.last_pred() {
-                        self.tombstone_local(key, p.0.as_ptr());
+                        self.tombstone_local(key, p);
                     }
                 }
             }
@@ -751,10 +807,13 @@ where
         if self.hash.get(key) == Some(&r) {
             return;
         }
-        let n = unsafe { r.0.as_ref() };
+        // Generation check under the combiner's pin: a node retired between
+        // execution and indexing is simply not indexed.
+        let Some(n) = r.node() else { return };
         if self.should_index(n.top_level()) {
+            let mv = n.mvec();
             self.hash.insert(key.clone(), r);
-            if n.mvec() == self.mvec {
+            if mv == self.mvec {
                 self.local.insert(key.clone(), r);
             }
         }
@@ -771,6 +830,7 @@ where
         let map = self.map;
         let shared = &map.shared;
         let lazy = self.lazy();
+        let _pin = shared.pin(&self.ctx);
         match op {
             BatchOp::Insert(k, v) => {
                 // Hashtable fast path, as in [`LayeredHandle::insert`]: a
@@ -778,18 +838,22 @@ where
                 // (the chain frontier is untouched, which is fine — it
                 // still precedes every later key of the sorted run).
                 if let Some(r) = self.hash.get(&k).copied() {
-                    let node = unsafe { r.0.as_ref() };
-                    if lazy {
-                        match shared.insert_helper(node, &self.ctx) {
-                            Some(fresh) => {
-                                return BatchOutcome::Inserted { fresh, node: Some(r) }
+                    match r.node() {
+                        None => self.erase_local(&k), // stale: fall through
+                        Some(node) => {
+                            if lazy {
+                                match shared.insert_helper(node, &self.ctx) {
+                                    Some(fresh) => {
+                                        return BatchOutcome::Inserted { fresh, node: Some(r) }
+                                    }
+                                    None => self.erase_local(&k), // marked: fall through
+                                }
+                            } else if !node.is_marked(0) {
+                                return BatchOutcome::Inserted { fresh: false, node: Some(r) };
+                            } else {
+                                self.erase_local(&k);
                             }
-                            None => self.erase_local(&k), // marked: fall through
                         }
-                    } else if !node.is_marked(0) {
-                        return BatchOutcome::Inserted { fresh: false, node: Some(r) };
-                    } else {
-                        self.erase_local(&k);
                     }
                 }
                 let start = self.prev_start(&k, 0);
@@ -804,17 +868,21 @@ where
             }
             BatchOp::Remove(k) => {
                 if let Some(r) = self.hash.get(&k).copied() {
-                    let node = unsafe { r.0.as_ref() };
-                    if lazy {
-                        match shared.remove_helper(node, &self.ctx) {
-                            Some(removed) => {
-                                return BatchOutcome::Removed { removed, pred: None }
+                    match r.node() {
+                        None => self.erase_local(&k), // stale: fall through
+                        Some(node) => {
+                            if lazy {
+                                match shared.remove_helper(node, &self.ctx) {
+                                    Some(removed) => {
+                                        return BatchOutcome::Removed { removed, pred: None }
+                                    }
+                                    None => self.erase_local(&k),
+                                }
                             }
-                            None => self.erase_local(&k),
+                            // Non-lazy removals always need the cleanup search
+                            // for the tombstoned predecessor; no fast path.
                         }
                     }
-                    // Non-lazy removals always need the cleanup search for
-                    // the tombstoned predecessor; no fast path.
                 }
                 let start = self.prev_start(&k, 0);
                 let removed = shared.remove_with_hint(&k, start, chain, &self.ctx);
@@ -822,20 +890,23 @@ where
                 if removed && !lazy {
                     self.erase_local(&k);
                     if let Some(p) = pred {
-                        self.tombstone_local(&k, p.0.as_ptr());
+                        self.tombstone_local(&k, p);
                     }
                 }
                 BatchOutcome::Removed { removed, pred }
             }
             BatchOp::Get(k) => {
                 if let Some(r) = self.hash.get(&k).copied() {
-                    let node = unsafe { r.0.as_ref() };
-                    let w0 = node.load_next(0, &self.ctx);
-                    if !w0.marked() {
-                        if !lazy || w0.valid() {
-                            return BatchOutcome::Got(Some(unsafe { node.value() }.clone()));
+                    if let Some(node) = r.node() {
+                        let w0 = node.load_next(0, &self.ctx);
+                        if !w0.marked() {
+                            if !lazy || w0.valid() {
+                                return BatchOutcome::Got(Some(
+                                    unsafe { node.value() }.clone(),
+                                ));
+                            }
+                            return BatchOutcome::Got(None);
                         }
-                        return BatchOutcome::Got(None);
                     }
                     self.erase_local(&k);
                 }
@@ -909,6 +980,10 @@ where
     /// unsound). When the submitter combined its own batch (the common
     /// case) the mvecs match and indexing is unchanged.
     fn note(&mut self, key: &K, out: &BatchOutcome<K, V>) {
+        let map = self.inner.map;
+        // The outcome's references were captured under the combiner's pin;
+        // validate them under our own before touching the local structures.
+        let _pin = map.shared.pin(&self.inner.ctx);
         let h = &mut self.inner;
         match out {
             BatchOutcome::Inserted { node: Some(r), .. } => {
@@ -917,10 +992,11 @@ where
                 if h.hash.get(key) == Some(r) {
                     return;
                 }
-                let node = unsafe { r.0.as_ref() };
+                let Some(node) = r.node() else { return };
                 if h.should_index(node.top_level()) {
+                    let mv = node.mvec();
                     h.hash.insert(key.clone(), *r);
-                    if node.mvec() == h.mvec {
+                    if mv == h.mvec {
                         h.local.insert(key.clone(), *r);
                     }
                 }
@@ -930,7 +1006,7 @@ where
                 if *removed && !h.lazy() {
                     h.erase_local(key);
                     if let Some(p) = pred {
-                        h.tombstone_local(key, p.0.as_ptr());
+                        h.tombstone_local(key, *p);
                     }
                 }
                 // Lazy removals keep the mappings: the node is only

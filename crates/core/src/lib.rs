@@ -59,6 +59,7 @@ pub mod mvec;
 mod node;
 mod params;
 mod prefetch;
+mod reclaim;
 pub mod sync;
 
 pub mod local;

@@ -11,7 +11,7 @@
 //!
 //! The header is `#[repr(C)]` with the hot fields first: the level-0
 //! next-reference, the tower pointer, then the key (the discriminant every
-//! traversal compares). For `Node<u64, u64>` the header is 40 bytes, so a
+//! traversal compares). For `Node<u64, u64>` the header is 48 bytes, so a
 //! level-0 traversal step — load `next[0]`, compare the key, inspect the
 //! packed metadata — touches a single cache line per node (chunk storage is
 //! 64-byte aligned; see `numa::arena`).
@@ -20,12 +20,28 @@
 //! one atomic byte, and the commission timestamp is truncated to 32 bits
 //! (wrap-around can only *delay* retirement by one 2^32-cycle epoch, never
 //! trigger it early, because `check_retire` compares the elapsed delta).
+//!
+//! # Recycling (epoch-based reclamation)
+//!
+//! Because `skipgraph::reclaim` returns slots to per-size-class free lists
+//! and reuses them, the header additionally carries
+//!
+//! * a **generation counter** (`gen`), bumped when the node is retired:
+//!   every raw pointer cached outside the structure (local hint maps, C3
+//!   tombstones, `HintChain` frontiers) snapshots the generation at capture
+//!   time and re-checks it before dereferencing — a recycled slot fails the
+//!   check and the caller falls back to a head search;
+//! * an **unlinked bitmask** (`unlinked`), one bit per level, set by
+//!   whichever thread physically snips the node out of that level's list.
+//!   The thread that completes the mask (observes the last missing bit) is
+//!   the unique retirer, so a node enters a limbo list exactly once.
 
 use crate::sync::{TagPtr, TaggedAtomic};
 use instrument::ThreadCtx;
 use std::cmp::Ordering as CmpOrdering;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
 /// Maximum tower height supported. The layered structures use
 /// `MaxLevel = ceil(log2 T) - 1`, so 8 levels support up to 2^9 = 512
@@ -33,13 +49,15 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// `h` trailing tower slots.
 pub const MAX_HEIGHT: usize = 8;
 
-/// What a node is: a per-list head sentinel, a data node, or the shared
-/// tail sentinel.
+/// What a node is: a per-list head sentinel, a data node, the shared tail
+/// sentinel, or a reclaimed slot sitting on a free list (payload dropped;
+/// arena teardown must not drop it again).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum NodeKind {
     Head,
     Data,
     Tail,
+    Free,
 }
 
 /// `meta` byte: bits 0..=2 `top_level`, bits 3..=4 `kind`, bit 7 `inserted`.
@@ -53,6 +71,7 @@ const META_INSERTED: u8 = 0b1000_0000;
 const KIND_HEAD: u8 = 0;
 const KIND_DATA: u8 = 1;
 const KIND_TAIL: u8 = 2;
+const KIND_FREE: u8 = 3;
 
 /// Node header. The trailing tower (`top_level` extra [`TaggedAtomic`]
 /// slots) is co-allocated immediately after the header by the size-class
@@ -79,11 +98,22 @@ pub(crate) struct Node<K, V> {
     /// 14). 32 bits: `check_retire` compares the wrapped *delta*, so the
     /// truncation can only postpone retirement, never cause it early.
     alloc_ts: u32,
+    /// Slot generation: bumped when the node is retired. Cached raw
+    /// pointers (hint maps, tombstones, hint chains) carry the generation
+    /// they were captured at and re-check it before dereferencing; a bumped
+    /// counter means the slot was (or is about to be) recycled for a
+    /// different key. Survives recycling — [`Node::reinit_recycled`] leaves
+    /// it untouched, so stale readers never observe a rollback.
+    gen: AtomicU32,
     /// Membership vector of the inserting thread (suffixes select lists).
     /// `max_level < MAX_HEIGHT = 8`, so vectors always fit in 7 bits.
     mvec: u8,
     /// Packed `top_level` / `kind` / `inserted` (see the `META_*` masks).
     meta: AtomicU8,
+    /// One bit per level `0..=top_level`, set by the thread whose CAS
+    /// physically snipped this node out of that level's list. The thread
+    /// that fills the mask retires the node (exactly once).
+    unlinked: AtomicU8,
     /// Benchmark thread that allocated this node (NUMA-ownership tag).
     owner: u16,
 }
@@ -118,8 +148,10 @@ impl<K, V> Node<K, V> {
             key: MaybeUninit::new(key),
             value: MaybeUninit::new(value),
             alloc_ts,
+            gen: AtomicU32::new(0),
             mvec: mvec as u8,
             meta: AtomicU8::new(pack_meta(KIND_DATA, top_level, false)),
+            unlinked: AtomicU8::new(0),
             owner,
         }
     }
@@ -137,8 +169,10 @@ impl<K, V> Node<K, V> {
             key: MaybeUninit::uninit(),
             value: MaybeUninit::uninit(),
             alloc_ts: 0,
+            gen: AtomicU32::new(0),
             mvec: suffix as u8,
             meta: AtomicU8::new(pack_meta(KIND_HEAD, level, true)),
+            unlinked: AtomicU8::new(0),
             owner: 0,
         }
     }
@@ -151,8 +185,10 @@ impl<K, V> Node<K, V> {
             key: MaybeUninit::uninit(),
             value: MaybeUninit::uninit(),
             alloc_ts: 0,
+            gen: AtomicU32::new(0),
             mvec: 0,
             meta: AtomicU8::new(pack_meta(KIND_TAIL, (MAX_HEIGHT - 1) as u8, true)),
+            unlinked: AtomicU8::new(0),
             owner: 0,
         }
     }
@@ -196,7 +232,8 @@ impl<K, V> Node<K, V> {
         match (self.meta_bits() & META_KIND_MASK) >> META_KIND_SHIFT {
             KIND_HEAD => NodeKind::Head,
             KIND_DATA => NodeKind::Data,
-            _ => NodeKind::Tail,
+            KIND_TAIL => NodeKind::Tail,
+            _ => NodeKind::Free,
         }
     }
 
@@ -281,6 +318,13 @@ impl<K, V> Node<K, V> {
             NodeKind::Head => CmpOrdering::Less,
             NodeKind::Tail => CmpOrdering::Greater,
             NodeKind::Data => unsafe { self.key().cmp(k) },
+            NodeKind::Free => {
+                // Unreachable from a pinned traversal (slots are only parked
+                // after the grace period); answer like the tail so a search
+                // that somehow got here stops instead of reading freed keys.
+                debug_assert!(false, "cmp_key on a freed slot");
+                CmpOrdering::Greater
+            }
         }
     }
 
@@ -355,6 +399,119 @@ impl<K, V> Node<K, V> {
         crate::det::yield_point();
         self.meta.fetch_or(META_INSERTED, Ordering::Release);
     }
+
+    /// Current slot generation. Through a shared reference this is only
+    /// for tests; runtime generation checks go through the raw projection
+    /// [`Node::generation_of`], which never forms a `&Node`.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn generation(&self) -> u32 {
+        self.gen.load(Ordering::Acquire)
+    }
+
+    /// Reads the generation through a raw slot pointer without forming a
+    /// `&Node` over the whole header. Generation checks on cached pointers
+    /// must use this: the slot may concurrently be re-initialized for a new
+    /// key ([`Node::reinit_recycled`] plain-writes the non-atomic fields),
+    /// and a shared reference spanning those bytes would race. The `gen`
+    /// word itself is only ever written atomically, so an atomic load
+    /// through a field projection is always sound.
+    ///
+    /// # Safety
+    ///
+    /// `p` must point into a live arena slot (slots are never unmapped
+    /// while the structure exists, so any pointer that was once a node of
+    /// this graph qualifies).
+    #[inline]
+    pub(crate) unsafe fn generation_of(p: NonNull<Self>) -> u32 {
+        (*std::ptr::addr_of!((*p.as_ptr()).gen)).load(Ordering::Acquire)
+    }
+
+    /// Bumps the generation. Called at retire time: from this point every
+    /// pointer cached before the bump fails its generation check.
+    #[inline]
+    pub(crate) fn bump_generation(&self) {
+        self.gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records that this node was physically snipped out of `level`'s
+    /// list. Returns `true` for exactly one caller across the node's
+    /// lifetime: the one whose bit completed the mask over levels
+    /// `0..=top_level` — that caller must retire the node. Distinct levels
+    /// are snipped by (possibly) distinct threads; `fetch_or` keeps the
+    /// completing transition unique when they race.
+    #[inline]
+    pub(crate) fn note_unlinked(&self, level: usize) -> bool {
+        debug_assert!(level <= self.top_level() as usize);
+        let bit = 1u8 << level;
+        let full = ((1u16 << (self.top_level() + 1)) - 1) as u8;
+        let prev = self.unlinked.fetch_or(bit, Ordering::AcqRel);
+        prev & bit == 0 && prev | bit == full
+    }
+
+    /// Drops the key/value payload and marks the slot `Free`, so the
+    /// arena's teardown does not drop it a second time. Called by the
+    /// reclaimer once the grace period has passed, immediately before the
+    /// slot goes onto a free list.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be a retired data node past its grace period: no other
+    /// thread may access the payload concurrently or afterwards.
+    pub(crate) unsafe fn release_payload(node: NonNull<Self>) {
+        let p = node.as_ptr();
+        let meta = &*std::ptr::addr_of!((*p).meta);
+        let bits = meta.load(Ordering::Relaxed);
+        debug_assert_eq!((bits & META_KIND_MASK) >> META_KIND_SHIFT, KIND_DATA);
+        // Flip the kind first: from here every teardown path sees `Free`
+        // and skips the payload.
+        meta.store(pack_meta(KIND_FREE, bits & META_TOP_MASK, false), Ordering::Release);
+        (*std::ptr::addr_of_mut!((*p).key)).assume_init_drop();
+        (*std::ptr::addr_of_mut!((*p).value)).assume_init_drop();
+    }
+
+    /// Re-initializes a recycled slot with a fresh header, preserving the
+    /// slot's generation counter. Field-by-field on purpose: a whole-struct
+    /// write would reset `gen` (letting a stale cached pointer pass its
+    /// generation check) and would plain-write the atomic words that stale
+    /// readers still probe atomically.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a free-listed slot popped by its owning thread, with
+    /// `Node::tower_bytes(header.top_level())` trailing bytes, and no
+    /// other thread dereferencing it (its grace period passed; the
+    /// free-list pop won the slot).
+    pub(crate) unsafe fn reinit_recycled(slot: NonNull<Self>, header: Self) {
+        let header = ManuallyDrop::new(header);
+        let p = slot.as_ptr();
+        let top = header.top_level() as usize;
+        debug_assert_eq!(
+            ((*std::ptr::addr_of!((*p).meta)).load(Ordering::Relaxed) & META_KIND_MASK)
+                >> META_KIND_SHIFT,
+            KIND_FREE
+        );
+        std::ptr::addr_of_mut!((*p).tower).write(std::ptr::null_mut());
+        std::ptr::addr_of_mut!((*p).key).write(std::ptr::read(&header.key));
+        std::ptr::addr_of_mut!((*p).value).write(std::ptr::read(&header.value));
+        std::ptr::addr_of_mut!((*p).alloc_ts).write(header.alloc_ts);
+        std::ptr::addr_of_mut!((*p).mvec).write(header.mvec);
+        std::ptr::addr_of_mut!((*p).owner).write(header.owner);
+        (*std::ptr::addr_of!((*p).unlinked)).store(0, Ordering::Relaxed);
+        // The free-list pop left its link word in `next0`; reset it.
+        (*std::ptr::addr_of!((*p).next0)).store(TagPtr::null());
+        if Self::tower_bytes(top) > 0 {
+            std::ptr::write_bytes(
+                p.cast::<u8>().add(std::mem::size_of::<Self>()),
+                0,
+                Self::tower_bytes(top),
+            );
+        }
+        // Publish the new identity last.
+        (*std::ptr::addr_of!((*p).meta))
+            .store(header.meta.load(Ordering::Relaxed), Ordering::Release);
+        Self::attach_tower(slot);
+    }
 }
 
 impl<K, V> Drop for Node<K, V> {
@@ -424,10 +581,11 @@ mod tests {
     #[test]
     fn header_is_packed_into_one_cache_line() {
         // The whole point of the layout: header (next0 + tower ptr + key +
-        // value + packed metadata) of a u64 map node is 40 bytes, and a
-        // height-0 node is exactly the header — both under one 64-byte
-        // line. The old inline-tower layout was 96 bytes.
-        assert_eq!(std::mem::size_of::<Node<u64, u64>>(), 40);
+        // value + packed metadata + generation/unlinked words) of a u64
+        // map node is 48 bytes, and a height-0 node is exactly the header
+        // — both under one 64-byte line. The old inline-tower layout was
+        // 96 bytes; the pre-reclamation header was 40.
+        assert_eq!(std::mem::size_of::<Node<u64, u64>>(), 48);
         assert_eq!(std::mem::align_of::<Node<u64, u64>>(), 8);
         // Tower slots can be appended without padding.
         assert_eq!(
@@ -546,5 +704,86 @@ mod tests {
     #[test]
     fn node_is_sufficiently_aligned_for_tags() {
         assert!(std::mem::align_of::<Node<u8, u8>>() >= 4);
+    }
+
+    #[test]
+    fn unlink_mask_completes_exactly_once() {
+        let n: Node<u64, u64> = Node::new_data(1, 1, 0, 0, 2, 0);
+        assert!(!n.note_unlinked(2));
+        assert!(!n.note_unlinked(0));
+        // Duplicate snip reports never complete the mask a second time.
+        assert!(!n.note_unlinked(0));
+        assert!(n.note_unlinked(1), "last missing level completes the mask");
+        assert!(!n.note_unlinked(1));
+        // Height-0 nodes complete on their single level.
+        let z: Node<u64, u64> = Node::new_data(2, 2, 0, 0, 0, 0);
+        assert!(z.note_unlinked(0));
+        assert!(!z.note_unlinked(0));
+    }
+
+    #[test]
+    fn recycled_slot_keeps_generation_and_new_identity() {
+        let arena = tower_arena(2);
+        let node = arena.alloc(Node::new_data(5u64, 50u64, 0b11, 1, 2, 7));
+        unsafe { Node::attach_tower(node) };
+        assert_eq!(unsafe { Node::generation_of(node) }, 0);
+        unsafe { node.as_ref() }.bump_generation();
+        assert_eq!(unsafe { Node::generation_of(node) }, 1);
+        unsafe { Node::release_payload(node) };
+        assert_eq!(unsafe { node.as_ref() }.kind(), NodeKind::Free);
+        // Simulate the free-list link parking a pointer in next0.
+        unsafe { node.as_ref() }.store_next(0, TagPtr::clean(node.as_ptr()));
+        unsafe { Node::reinit_recycled(node, Node::new_data(9u64, 90u64, 0b01, 2, 2, 8)) };
+        let n = unsafe { node.as_ref() };
+        assert!(n.is_data());
+        assert_eq!(unsafe { *n.key() }, 9);
+        assert_eq!(unsafe { *n.value() }, 90);
+        assert_eq!(n.mvec(), 0b01);
+        assert_eq!(n.owner(), 2);
+        assert_eq!(n.alloc_ts(), 8);
+        assert!(!n.is_inserted());
+        assert_eq!(n.generation(), 1, "reinit must not reset the generation");
+        for level in 0..=2usize {
+            assert!(n.load_next_raw(level).ptr().is_null(), "level {level} not reset");
+        }
+        assert!(!n.note_unlinked(0), "unlinked mask must be cleared by reinit");
+    }
+
+    #[test]
+    fn release_payload_drops_exactly_once_and_free_skips_teardown_drop() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct D(#[allow(dead_code)] u8);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        impl PartialEq for D {
+            fn eq(&self, _: &Self) -> bool {
+                true
+            }
+        }
+        impl Eq for D {}
+        impl PartialOrd for D {
+            fn partial_cmp(&self, o: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for D {
+            fn cmp(&self, _: &Self) -> CmpOrdering {
+                CmpOrdering::Equal
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let arena: Arena<Node<D, D>> = Arena::with_layout(0, 4, 0);
+            let node = arena.alloc(Node::new_data(D(0), D(1), 0, 0, 0, 0));
+            unsafe { Node::attach_tower(node) };
+            unsafe { Node::release_payload(node) };
+            assert_eq!(DROPS.load(Ordering::SeqCst), 2, "payload dropped at release");
+        }
+        // Arena teardown saw a Free slot and did not double-drop.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
     }
 }

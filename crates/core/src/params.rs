@@ -39,6 +39,11 @@ pub struct GraphConfig {
     pub membership: MembershipStrategy,
     /// Objects per arena chunk (the paper uses 2^20).
     pub chunk_capacity: usize,
+    /// Epoch-based reclamation: fully-unlinked nodes are retired onto
+    /// per-thread limbo lists and, after a grace period, recycled through
+    /// per-size-class free lists in the owning thread's arena bank. Off by
+    /// default (the paper's fixed-length-run memory model).
+    pub reclaim: bool,
 }
 
 impl GraphConfig {
@@ -62,6 +67,7 @@ impl GraphConfig {
             commission_cycles: DEFAULT_COMMISSION_FACTOR * threads as u64,
             membership: MembershipStrategy::NumaAware,
             chunk_capacity: numa::arena::DEFAULT_CHUNK_CAPACITY,
+            reclaim: false,
         }
     }
 
@@ -111,6 +117,14 @@ impl GraphConfig {
         self
     }
 
+    /// Enables epoch-based reclamation with NUMA-preserving slot recycling
+    /// (see `skipgraph::reclaim`). Required for long-running churn
+    /// workloads; adds a generation check to every cached node pointer.
+    pub fn reclaim(mut self, reclaim: bool) -> Self {
+        self.reclaim = reclaim;
+        self
+    }
+
     /// The `layered_map_ll` ablation: the shared structure is a plain
     /// linked list (maximum level always 0).
     pub fn linked_list(threads: usize) -> Self {
@@ -136,6 +150,7 @@ mod tests {
         assert!(!c.sparse);
         assert_eq!(c.commission_cycles, 33_600_000);
         assert_eq!(c.membership, MembershipStrategy::NumaAware);
+        assert!(!c.reclaim, "reclamation is opt-in");
     }
 
     #[test]
@@ -145,11 +160,13 @@ mod tests {
             .sparse(true)
             .max_level(3)
             .commission_cycles(10)
-            .chunk_capacity(128);
+            .chunk_capacity(128)
+            .reclaim(true);
         assert!(c.lazy && c.sparse);
         assert_eq!(c.max_level, 3);
         assert_eq!(c.commission_cycles, 10);
         assert_eq!(c.chunk_capacity, 128);
+        assert!(c.reclaim);
     }
 
     #[test]

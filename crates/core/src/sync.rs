@@ -276,6 +276,24 @@ impl FacadeAtomicUsize {
         self.cell
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
     }
+
+    /// Atomic add (AcqRel), returning the previous value. Used by the
+    /// reclamation subsystem's shared counters, whose interleaving with
+    /// the grace-period protocol the deterministic scheduler must control.
+    #[inline]
+    pub fn fetch_add(&self, v: usize) -> usize {
+        facade_yield();
+        self.cell.fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Atomic swap (SeqCst), returning the previous value. Exists for the
+    /// reclamation pin announce: on x86 a locked RMW is a full barrier, so
+    /// it replaces the costlier `store + fence(SeqCst)` pair.
+    #[inline]
+    pub fn swap_seq_cst(&self, v: usize) -> usize {
+        facade_yield();
+        self.cell.swap(v, Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]

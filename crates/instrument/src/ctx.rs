@@ -20,6 +20,9 @@ struct ThreadCounters {
     batched_ops: AtomicU64,
     hinted_searches: AtomicU64,
     hinted_traversed: AtomicU64,
+    retired: AtomicU64,
+    recycled: AtomicU64,
+    epoch_advances: AtomicU64,
 }
 
 /// A read-only snapshot of one thread's scalar counters.
@@ -45,6 +48,12 @@ pub struct ThreadCounterSnapshot {
     /// Shared nodes visited by hinted searches (subset of `traversed`);
     /// `hinted_traversed / hinted_searches` is the mean hint-hit distance.
     pub hinted_traversed: u64,
+    /// Fully-unlinked nodes this thread retired onto its limbo list.
+    pub retired: u64,
+    /// Reclaimed slots this thread returned to arena free lists.
+    pub recycled: u64,
+    /// Global-epoch advancements this thread's quiesce pass won.
+    pub epoch_advances: u64,
 }
 
 /// Shared statistics sink for one experiment: thread-pair matrices plus
@@ -96,6 +105,9 @@ impl AccessStats {
             batched_ops: c.batched_ops.load(Ordering::Relaxed),
             hinted_searches: c.hinted_searches.load(Ordering::Relaxed),
             hinted_traversed: c.hinted_traversed.load(Ordering::Relaxed),
+            retired: c.retired.load(Ordering::Relaxed),
+            recycled: c.recycled.load(Ordering::Relaxed),
+            epoch_advances: c.epoch_advances.load(Ordering::Relaxed),
         }
     }
 
@@ -122,6 +134,9 @@ impl AccessStats {
             t.batched_ops += s.batched_ops;
             t.hinted_searches += s.hinted_searches;
             t.hinted_traversed += s.hinted_traversed;
+            t.retired += s.retired;
+            t.recycled += s.recycled;
+            t.epoch_advances += s.epoch_advances;
         }
         t
     }
@@ -306,6 +321,38 @@ impl ThreadCtx {
         }
     }
 
+    /// Records the retirement of one fully-unlinked node onto this
+    /// thread's limbo list.
+    #[inline]
+    pub fn record_retire(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .retired
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `slots` reclaimed slots returned to arena free lists by this
+    /// thread's collect pass.
+    #[inline]
+    pub fn record_recycle(&self, slots: u64) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .recycled
+                .fetch_add(slots, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one successful global-epoch advancement won by this thread.
+    #[inline]
+    pub fn record_epoch_advance(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .epoch_advances
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// True when any recording sink is attached (used by structures to skip
     /// assembling record arguments on the fast path).
     #[inline]
@@ -333,6 +380,9 @@ mod tests {
         ctx.record_search(5);
         ctx.record_hinted_search(2);
         ctx.record_batch(8);
+        ctx.record_retire();
+        ctx.record_recycle(4);
+        ctx.record_epoch_advance();
         assert_eq!(ctx.id(), 3);
         assert!(!ctx.is_recording());
         assert!(ctx.cache_counts().is_none());
@@ -376,6 +426,24 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 64);
         assert_eq!(h.min(), 8);
+    }
+
+    #[test]
+    fn reclamation_counters_accumulate() {
+        let stats = AccessStats::new(2);
+        let ctx = ThreadCtx::recording(1, stats.clone());
+        ctx.record_retire();
+        ctx.record_retire();
+        ctx.record_recycle(3);
+        ctx.record_epoch_advance();
+        let t = stats.thread(1);
+        assert_eq!(t.retired, 2);
+        assert_eq!(t.recycled, 3);
+        assert_eq!(t.epoch_advances, 1);
+        let totals = stats.totals();
+        assert_eq!(totals.retired, 2);
+        assert_eq!(totals.recycled, 3);
+        assert_eq!(totals.epoch_advances, 1);
     }
 
     #[test]

@@ -331,6 +331,13 @@ impl<T> Arena<T> {
 }
 
 /// Frees an (empty-of-live-objects) chunk struct and its storage.
+///
+/// # Safety
+///
+/// `p` must be a pointer obtained from [`Chunk::new`] (a leaked `Box`)
+/// that has not been freed yet, `layout` must be the layout its storage
+/// was allocated with, and no reference into the chunk or its storage may
+/// be live: `Box::from_raw` reasserts unique ownership of the leaked box.
 unsafe fn drop_chunk_struct<T>(p: *mut Chunk<T>, layout: Layout) {
     let chunk = Box::from_raw(p);
     if layout.size() != 0 {
@@ -341,14 +348,24 @@ unsafe fn drop_chunk_struct<T>(p: *mut Chunk<T>, layout: Layout) {
 impl<T> Drop for Arena<T> {
     fn drop(&mut self) {
         let layout = self.chunk_layout();
-        let mut p = self.head.load(Ordering::Acquire);
+        // `&mut self` proves no concurrent access: read the list head
+        // non-atomically and copy each chunk's fields out *before*
+        // reclaiming its box, so no `&Chunk` is alive when `Box::from_raw`
+        // reasserts unique ownership (Miri's aliasing model rejects the
+        // borrow-across-free otherwise).
+        let mut p = *self.head.get_mut();
         while !p.is_null() {
-            let chunk = unsafe { &*p };
-            let next = chunk.next.load(Ordering::Acquire);
-            let len = chunk.len.load(Ordering::Acquire).min(chunk.capacity);
+            let (storage, next, len) = {
+                let chunk = unsafe { &mut *p };
+                (
+                    chunk.storage,
+                    *chunk.next.get_mut(),
+                    (*chunk.len.get_mut()).min(chunk.capacity),
+                )
+            };
             unsafe {
                 for i in 0..len {
-                    std::ptr::drop_in_place(chunk.storage.as_ptr().add(i * self.stride) as *mut T);
+                    std::ptr::drop_in_place(storage.as_ptr().add(i * self.stride) as *mut T);
                 }
                 drop_chunk_struct(p, layout);
             }
@@ -419,12 +436,15 @@ mod tests {
 
     #[test]
     fn concurrent_allocation_is_safe() {
-        let a: Arc<Arena<u64>> = Arc::new(Arena::with_chunk_capacity(0, 64));
+        // Smaller bounds under Miri: the interpreter runs the same chunk
+        // growth and slot-claim races, just fewer of them.
+        let (threads, per_thread, cap) = if cfg!(miri) { (4u64, 40, 8) } else { (8, 500, 64) };
+        let a: Arc<Arena<u64>> = Arc::new(Arena::with_chunk_capacity(0, cap));
         let mut handles = Vec::new();
-        for t in 0..8u64 {
+        for t in 0..threads {
             let a = Arc::clone(&a);
             handles.push(std::thread::spawn(move || {
-                (0..500)
+                (0..per_thread)
                     .map(|i| unsafe { *a.alloc(t * 1000 + i).as_ref() })
                     .collect::<Vec<u64>>()
             }));
@@ -435,8 +455,62 @@ mod tests {
             .collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), 4000, "no slot was handed out twice");
-        assert_eq!(a.len(), 4000);
+        let expected = (threads * per_thread) as usize;
+        assert_eq!(all.len(), expected, "no slot was handed out twice");
+        assert_eq!(a.len(), expected);
+    }
+
+    /// Miri regression: the first-chunk install race. Both threads map a
+    /// candidate chunk; the loser must free its leaked `Box` *and* its
+    /// storage (Miri's leak checker catches a dropped box with live
+    /// storage, and its aliasing model catches a double reclaim).
+    #[test]
+    fn racing_first_install_frees_the_losing_chunk() {
+        for _ in 0..if cfg!(miri) { 4 } else { 64 } {
+            let a: Arc<Arena<u64>> = Arc::new(Arena::with_chunk_capacity(0, 4));
+            let handles: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let a = Arc::clone(&a);
+                    std::thread::spawn(move || unsafe { *a.alloc(t).as_ref() })
+                })
+                .collect();
+            let mut got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1]);
+            assert_eq!(a.len(), 2);
+            assert_eq!(a.chunk_count(), 1, "exactly one installed first chunk");
+        }
+    }
+
+    /// Miri regression: the grow race. Single-slot chunks force every
+    /// allocation through `grow`, so concurrent allocators repeatedly race
+    /// to append — losing chunks must be freed, winning chunks must form
+    /// one well-linked list that `Drop` later walks and reclaims fully.
+    #[test]
+    fn racing_growers_free_losing_chunks_and_drop_reclaims_all() {
+        let per_thread = if cfg!(miri) { 12u64 } else { 200 };
+        let a: Arc<Arena<Box<u64>>> = Arc::new(Arena::with_chunk_capacity(0, 1));
+        let handles: Vec<_> = (0..2u64)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    (0..per_thread)
+                        .map(|i| unsafe { **a.alloc(Box::new(t * 1000 + i)).as_ref() })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), (2 * per_thread) as usize);
+        assert_eq!(a.chunk_count(), (2 * per_thread) as usize);
+        // Dropping the arena must drop every boxed value (leak-checked
+        // under Miri) and free every chunk exactly once.
+        drop(a);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::time::Duration;
 pub const STRUCTURES: &[&str] = &[
     "layered_map_sg",
     "lazy_layered_sg",
+    "reclaim_layered_sg",
     "layered_map_ssg",
     "layered_map_ll",
     "layered_map_sl",
@@ -85,6 +86,15 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
         ),
         "lazy_layered_sg" => run_trial(
             &LayeredMap::<u64, u64>::new(GraphConfig::new(t).lazy(true).chunk_capacity(cap)),
+            workload,
+            instr,
+        ),
+        // Non-lazy layered map with epoch-based reclamation: removals
+        // retire their nodes through the grace-period protocol and slots
+        // are recycled NUMA-locally, exercising the generation-checked
+        // hint paths under churn.
+        "reclaim_layered_sg" => run_trial(
+            &LayeredMap::<u64, u64>::new(GraphConfig::new(t).reclaim(true).chunk_capacity(cap)),
             workload,
             instr,
         ),

@@ -39,6 +39,7 @@ use skipgraph::det::{self, DetConfig, Policy, Trace};
 pub const DET_STRUCTURES: &[&str] = &[
     "layered_map_sg",
     "lazy_layered_sg",
+    "reclaim_layered_sg",
     "layered_map_ssg",
     "layered_map_ll",
     "layered_map_sl",
@@ -386,6 +387,15 @@ macro_rules! with_structure {
             "lazy_layered_sg" => {
                 let $map =
                     LayeredMap::<u64, u64>::new(GraphConfig::new(t).lazy(true).chunk_capacity(cap));
+                $body
+            }
+            "reclaim_layered_sg" => {
+                // Epoch-based reclamation on: retired slots are recycled
+                // under the scheduler, hitting the generation-checked
+                // stale-hint fallbacks.
+                let $map = LayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t).reclaim(true).chunk_capacity(cap),
+                );
                 $body
             }
             "layered_map_ssg" => {

@@ -113,6 +113,44 @@ fn pct_schedules_linearize() {
     }
 }
 
+/// Deterministic-schedule stress of the epoch-based reclamation path:
+/// a removal-heavy mix over a tiny key space so nodes are retired,
+/// epochs advance through the facade atomics (the scheduler interleaves
+/// the grace-period protocol), and freed slots are recycled under new
+/// keys while other threads still hold generation-tagged hints to the
+/// old incarnation. `ops_per_thread` is chosen to cross the reclaimer's
+/// quiesce period several times per thread so collection actually runs
+/// mid-workload, not just at teardown.
+#[test]
+fn reclaiming_layered_map_pct_and_round_robin_linearize() {
+    // key_space × the checker's per-key cap must cover 3 × 200 ops.
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 12,
+        ops_per_thread: 200,
+        update_pct: 90,
+        preload: true,
+        seed: 9,
+    };
+    let base = env_seed(500);
+    for s in 0..4u64 {
+        let det = DetConfig::new(
+            base + s,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        stress_named_det("reclaim_layered_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("reclaim_layered_sg pct seed {}: {e}", base + s));
+    }
+    for quantum in [1u32, 3, 7] {
+        let det = DetConfig::new(base, Policy::RoundRobin { quantum });
+        stress_named_det("reclaim_layered_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("reclaim_layered_sg round-robin quantum {quantum}: {e}"));
+    }
+}
+
 #[test]
 fn trace_replay_reproduces_the_run() {
     let cfg = small();

@@ -1,0 +1,112 @@
+//! Layered-map behaviour under epoch-based reclamation: thread-local
+//! structures keep generation-tagged references to shared nodes, and once
+//! a node is retired — and its slot possibly recycled under a different
+//! key — every stale reference must fail its generation check and fall
+//! back to a fresh search instead of trusting the impostor.
+//!
+//! The scenario uses two handles: handle 0 inserts (and therefore indexes
+//! the nodes in *its* local structures), handle 1 removes. With two
+//! threads the default tower height is 0, so handle 1's cleanup searches
+//! fully unlink and retire every removed node even though the nodes carry
+//! handle 0's membership vector — leaving handle 0 holding references to
+//! retired (then recycled) slots.
+
+use instrument::ThreadCtx;
+use skipgraph::{GraphConfig, LayeredMap};
+
+const N: u64 = 32;
+
+#[test]
+fn stale_local_structure_hints_fall_back_after_recycling() {
+    let map: LayeredMap<u64, u64> =
+        LayeredMap::new(GraphConfig::new(2).reclaim(true).chunk_capacity(1 << 10));
+    let mut h0 = map.register(ThreadCtx::plain(0));
+    let mut h1 = map.register(ThreadCtx::plain(1));
+
+    // Handle 0 inserts and indexes the keys locally.
+    for k in 0..N {
+        assert!(h0.insert(k, k));
+    }
+    assert!(h0.local_len() > 0, "handle 0 indexed its insertions");
+
+    // Handle 1 retires them all and ages the retirements past the grace
+    // period. Handle 0's hash and ordered map still reference the retired
+    // incarnations.
+    for k in 0..N {
+        assert!(h1.remove(&k));
+    }
+    assert_eq!(map.shared().reclaim_flush(h1.ctx()), N as usize);
+
+    // Stale hashtable fast path: the generation check fails, the entry is
+    // erased, and the lookup falls back to a head search.
+    for k in 0..N / 2 {
+        assert!(!h0.contains(&k), "key {k} was removed by handle 1");
+        assert_eq!(h0.get(&k), None);
+    }
+
+    // Recycling preserves NUMA placement: the freed slots went back to
+    // *handle 0's* arena (their allocation site), so handle 0's fresh
+    // insertions pop them off the free list. The first insertion's
+    // `get_start` also walks handle 0's ordered map, hitting the remaining
+    // stale references (generation check fails → entry erased → the search
+    // starts from the head instead of jumping in at a recycled slot).
+    for k in 100..100 + N {
+        assert!(h0.insert(k, k));
+    }
+    let stats = map.shared().memory_stats(h0.ctx());
+    assert_eq!(stats.recycled_slots, N as usize, "slots were reused");
+
+    // The recycled slots now hold different keys; the old keys are gone
+    // and the new ones resolve through valid references.
+    for k in 0..N {
+        assert!(!h0.contains(&k));
+        assert!(!h1.contains(&k));
+    }
+    for k in 100..100 + N {
+        assert_eq!(h0.get(&k), Some(k));
+        assert_eq!(h1.get(&k), Some(k));
+    }
+
+    // Re-inserting through the (now cleaned) fast path works, and the new
+    // references validate.
+    for k in 0..N {
+        assert!(h0.insert(k, k + 1));
+        assert_eq!(h0.get(&k), Some(k + 1));
+    }
+    assert!(map.shared().check_invariants().is_ok());
+}
+
+#[test]
+fn churn_through_the_layered_handle_recycles_memory() {
+    let map: LayeredMap<u64, u64> =
+        LayeredMap::new(GraphConfig::new(2).reclaim(true).chunk_capacity(1 << 10));
+    let mut h = map.register(ThreadCtx::plain(0));
+    const WINDOW: u64 = 16;
+    const TOTAL: u64 = 600;
+    for i in 0..TOTAL {
+        assert!(h.insert(i, i));
+        if i >= WINDOW {
+            assert!(h.remove(&(i - WINDOW)));
+        }
+    }
+    // Handle operations quiesce periodically on their own (the pin-time
+    // tick), so most retired slots are already back on the free lists; a
+    // final flush empties the remaining limbo.
+    let ctx = ThreadCtx::plain(0);
+    map.shared().reclaim_flush(&ctx);
+    let stats = map.shared().memory_stats(&ctx);
+    assert_eq!(stats.live, WINDOW as usize);
+    assert_eq!(stats.retired_nodes as u64, TOTAL - WINDOW);
+    assert_eq!(stats.limbo_nodes, 0);
+    assert!(
+        stats.recycled_slots as u64 > (TOTAL - WINDOW) / 2,
+        "churn should be served mostly from recycled slots (recycled {})",
+        stats.recycled_slots
+    );
+    assert!(
+        stats.allocated < 300,
+        "footprint must plateau near the live set (allocated {})",
+        stats.allocated
+    );
+    assert!(map.shared().check_invariants().is_ok());
+}
