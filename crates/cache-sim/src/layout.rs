@@ -79,6 +79,85 @@ impl NodeLayout {
     }
 }
 
+/// Bytes of a block's control word plus forward word (the fixed prefix of
+/// the trailing block region in the blocked layout).
+pub const BLOCK_HEADER_BYTES: usize = 16;
+
+/// A fat level-0 block layout: one anchor node (modeled by [`NodeLayout`])
+/// carrying a trailing block of `cap` entry slots, as built by
+/// `skipgraph::BlockedSkipMap`. Splitting at `cap` full and merging at
+/// empty bounds steady-state occupancy, so the model takes occupancy as a
+/// parameter rather than fixing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedLayout {
+    /// The anchor node proper (header + tower).
+    pub node: NodeLayout,
+    /// Bytes per entry slot (one key/value pair).
+    pub entry_bytes: usize,
+    /// Entry slots per block.
+    pub cap: usize,
+}
+
+impl BlockedLayout {
+    /// A blocked layout over `node` anchors with `cap` slots of
+    /// `entry_bytes` each.
+    pub fn new(node: NodeLayout, entry_bytes: usize, cap: usize) -> Self {
+        assert!(cap >= 1);
+        Self {
+            node,
+            entry_bytes,
+            cap,
+        }
+    }
+
+    /// Bytes of the trailing block region, mirroring the allocator's
+    /// pointer-aligned rounding (`block_layout_bytes` in `skipgraph`).
+    pub fn block_bytes(&self) -> usize {
+        (BLOCK_HEADER_BYTES + self.cap * self.entry_bytes).next_multiple_of(8)
+    }
+
+    /// Bytes one anchor of tower height `height` occupies, block included.
+    pub fn anchor_bytes(&self, height: usize) -> usize {
+        self.node.node_bytes(height) + self.block_bytes()
+    }
+
+    /// Lines an anchor of height `height` spans, block included.
+    pub fn anchor_lines(&self, height: usize) -> usize {
+        self.anchor_bytes(height).div_ceil(LINE_BYTES)
+    }
+
+    /// Bytes per stored key at the given block `occupancy` (entries per
+    /// block as a fraction of `cap`), under the sparse tower distribution.
+    /// Occupancy 1.0 is the freshly bulk-loaded best case; a churning map
+    /// sits near 0.5 (splits produce half-full blocks).
+    pub fn bytes_per_key(&self, max_level: usize, occupancy: f64) -> f64 {
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+        let anchor = self.node.expected_sparse_bytes(max_level) + self.block_bytes() as f64;
+        anchor / (occupancy * self.cap as f64)
+    }
+
+    /// Expected level-0 nodes visited per search relative to an unblocked
+    /// map of the same population: one anchor covers `occupancy * cap`
+    /// keys, so the level-0 walk shortens by exactly that factor.
+    pub fn node_visit_factor(&self, occupancy: f64) -> f64 {
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+        1.0 / (occupancy * self.cap as f64)
+    }
+
+    /// Lines an in-block lookup touches: the control word's line plus the
+    /// lines of the slot array that a binary search over `ceil(occupancy *
+    /// cap)` sorted entries inspects (`ceil(log2(n)) + 1` probes, each one
+    /// entry, distinct lines counted pessimistically but capped by the
+    /// block's span).
+    pub fn lookup_lines(&self, occupancy: f64) -> usize {
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+        let n = ((occupancy * self.cap as f64).ceil() as usize).max(1);
+        let probes = n.ilog2() as usize + 1;
+        let span = (self.cap * self.entry_bytes).div_ceil(LINE_BYTES);
+        1 + probes.min(span)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +197,60 @@ mod tests {
                 f / t >= 2.0,
                 "max_level {max_level}: fixed {f:.1} vs truncated {t:.1}"
             );
+        }
+    }
+
+    /// `(u64, u64)` entries in the shipped blocked map.
+    const ENTRY: usize = 16;
+
+    #[test]
+    fn block_bytes_match_the_allocator_formula() {
+        // block_layout_bytes::<u64, u64>(cap) = round_up(16 + cap * 16, 8).
+        for cap in [2, 4, 8, 16] {
+            let b = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, cap);
+            assert_eq!(b.block_bytes(), 16 + cap * 16, "cap {cap}");
+        }
+        // Odd entry sizes round up to pointer alignment.
+        let odd = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), 9, 3);
+        assert_eq!(odd.block_bytes(), (16usize + 27).next_multiple_of(8));
+    }
+
+    #[test]
+    fn blocking_beats_per_key_anchors_from_cap_8_up() {
+        // One anchor per key (the unblocked map) vs one anchor per block.
+        // The model puts the break-even exactly where intuition says: at
+        // half occupancy — the churn steady state — cap 4 only ties
+        // (half its slots re-buy the anchor it saved), cap >= 8 wins; a
+        // fully loaded cap-8 block at least halves bytes per key.
+        let unblocked = NodeLayout::truncated(HEADER, SLOT).expected_sparse_bytes(7) + ENTRY as f64;
+        let at = |cap: usize, occ: f64| {
+            BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, cap)
+                .bytes_per_key(7, occ)
+        };
+        assert!(at(8, 0.5) < unblocked, "cap 8: {} vs {unblocked}", at(8, 0.5));
+        assert!(at(16, 0.5) < unblocked, "cap 16: {} vs {unblocked}", at(16, 0.5));
+        assert!(at(8, 1.0) < unblocked / 2.0, "cap 8 full: {}", at(8, 1.0));
+        // Bigger blocks amortize strictly better at equal occupancy.
+        let per_cap: Vec<f64> = [2usize, 4, 8, 16].iter().map(|&c| at(c, 0.5)).collect();
+        assert!(per_cap.windows(2).all(|w| w[1] < w[0]), "{per_cap:?}");
+    }
+
+    #[test]
+    fn node_visit_factor_is_the_covered_key_count() {
+        let b = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, 8);
+        assert!((b.node_visit_factor(1.0) - 1.0 / 8.0).abs() < 1e-9);
+        assert!((b.node_visit_factor(0.5) - 1.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_lines_stay_within_the_block_span() {
+        for cap in [2usize, 4, 8, 16] {
+            let b = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, cap);
+            for occ in [0.25, 0.5, 1.0] {
+                let lines = b.lookup_lines(occ);
+                let span = 1 + (cap * ENTRY).div_ceil(LINE_BYTES);
+                assert!(lines >= 2 && lines <= span, "cap {cap} occ {occ}: {lines}");
+            }
         }
     }
 

@@ -34,4 +34,4 @@ mod layout;
 
 pub use cache::{Cache, CacheGeometry};
 pub use hierarchy::{Hierarchy, MissCounts};
-pub use layout::{NodeLayout, LINE_BYTES};
+pub use layout::{BlockedLayout, NodeLayout, BLOCK_HEADER_BYTES, LINE_BYTES};

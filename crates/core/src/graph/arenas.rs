@@ -100,23 +100,29 @@ pub(crate) struct TowerArenas<K, V> {
     free: [FreeList<K, V>; MAX_HEIGHT],
     /// Allocations served from a free list instead of fresh arena slots.
     recycled: AtomicUsize,
+    /// Extra zeroed bytes after every tower for the fat level-0 block
+    /// (`GraphConfig::block_bytes`); zero for plain single-key nodes.
+    block_bytes: usize,
 }
 
 impl<K, V> TowerArenas<K, V> {
     /// A bank tagged with `owner`, whose height-0 class maps
-    /// `base_capacity`-object chunks (taller classes are smaller).
-    pub(crate) fn new(owner: u16, base_capacity: usize) -> Self {
+    /// `base_capacity`-object chunks (taller classes are smaller). Every
+    /// class reserves `block_bytes` extra zeroed bytes after the tower so
+    /// blocked maps get their entry array co-allocated in the same slot.
+    pub(crate) fn new(owner: u16, base_capacity: usize, block_bytes: usize) -> Self {
         let classes = std::array::from_fn(|h| {
             Arena::with_layout(
                 owner,
                 class_capacity(base_capacity, h),
-                Node::<K, V>::tower_bytes(h),
+                Node::<K, V>::tower_bytes(h) + block_bytes,
             )
         });
         Self {
             classes,
             free: std::array::from_fn(|_| FreeList::new()),
             recycled: AtomicUsize::new(0),
+            block_bytes,
         }
     }
 
@@ -133,8 +139,10 @@ impl<K, V> TowerArenas<K, V> {
         if let Some(slot) = self.free[class].pop() {
             // Safety: the slot was reclaimed from this very class (same
             // trailing-byte layout), its grace period passed before it was
-            // pushed, and the pop made this thread its unique owner.
-            unsafe { Node::reinit_recycled(slot, header) };
+            // pushed, and the pop made this thread its unique owner. The
+            // whole trailing region — tower *and* block — is re-zeroed.
+            let trailing = Node::<K, V>::tower_bytes(class) + self.block_bytes;
+            unsafe { Node::reinit_recycled(slot, header, trailing) };
             self.recycled.fetch_add(1, Ordering::Relaxed);
             return slot;
         }
@@ -210,7 +218,7 @@ mod tests {
 
     #[test]
     fn allocates_from_matching_class_with_working_towers() {
-        let bank: TowerArenas<u64, u64> = TowerArenas::new(2, 64);
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(2, 64, 0);
         let mut nodes = Vec::new();
         for h in 0..MAX_HEIGHT as u8 {
             nodes.push(bank.alloc(Node::new_data(h as u64, 0, 0, 2, h, 0)));
@@ -230,7 +238,7 @@ mod tests {
 
     #[test]
     fn truncated_classes_cost_less_than_fixed_towers() {
-        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64, 0);
         for _ in 0..100 {
             bank.alloc(Node::new_data(1, 1, 0, 0, 0, 0));
         }
@@ -260,7 +268,7 @@ mod tests {
 
     #[test]
     fn recycled_slots_are_reused_in_their_class() {
-        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64, 0);
         let n = bank.alloc(Node::new_data(1u64, 10, 0, 0, 2, 0));
         let fresh_after_one = bank.allocated();
         unsafe {
@@ -289,7 +297,7 @@ mod tests {
 
     #[test]
     fn free_list_is_lifo_per_class() {
-        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64);
+        let bank: TowerArenas<u64, u64> = TowerArenas::new(0, 64, 0);
         let a = bank.alloc(Node::new_data(1u64, 1, 0, 0, 0, 0));
         let b = bank.alloc(Node::new_data(2u64, 2, 0, 0, 0, 0));
         unsafe {

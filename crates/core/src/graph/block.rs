@@ -1,0 +1,1563 @@
+//! Fat level-0 blocks: B-skiplist blocking layered over the skip graph.
+//!
+//! A [`BlockedSkipMap`] stores several key/value pairs per level-0 node
+//! ("anchor") in a trailing sorted-prefix array, instead of one pair per
+//! node. Searches pay one tower descent per *block* rather than per key,
+//! and a block's entries share cache lines, so the per-key traversal and
+//! memory costs drop by roughly the blocking factor (the classic
+//! B-skiplist argument, applied to the paper's NUMA-local skip graph).
+//!
+//! # Block layout
+//!
+//! Every node the inner graph allocates reserves
+//! [`GraphConfig::block_bytes`] of trailing storage after its truncated
+//! tower (see [`Node::block_base`]); the blocked map carves it as:
+//!
+//! ```text
+//! offset 0   control word   (FacadeAtomicUsize)
+//! offset 8   forward word   (FacadeAtomicUsize; replacement pointer)
+//! offset 16  cap × (K, V)   write-once entry slots
+//! ```
+//!
+//! The control word packs the whole block state so every transition is a
+//! single full-word CAS:
+//!
+//! * bits `0..16`  — *present* bitmap: slot holds a live entry,
+//! * bits `16..32` — *claimed* bitmap: slot is (or was) owned by a writer,
+//! * bit  `32`     — *frozen*: sticky; the block is being split or merged,
+//! * bits `33..39` — length of the sorted prefix written at block build.
+//!
+//! Slots are write-once: a writer claims a slot (CAS), writes the pair,
+//! then publishes it (CAS setting the present bit — the insert's
+//! linearization point). Removal clears the present bit but keeps the
+//! claim, so published keys stay readable forever and the reader needs no
+//! per-slot synchronization. A block whose slots are exhausted is frozen
+//! (sticky bit) and replaced wholesale by one or two fresh blocks holding
+//! the surviving entries — the split —, or simply unlinked when nothing
+//! survives — the merge. Freezing makes the present bitmap immutable,
+//! which is what lets any helper compute the same survivor set.
+//!
+//! # Coverage invariant
+//!
+//! An entry `e` always lives in the block of the greatest anchor key
+//! `<= e`; if no such anchor exists, in the *first* block (which therefore
+//! covers `-inf`). New anchors below an existing anchor key can only be
+//! created by splitting the first block, and splits freeze their victim
+//! first — so an insert's publish CAS succeeding against an unfrozen
+//! control word proves the block still covered the key, and the publish
+//! linearizes the insert.
+//!
+//! # Split/merge linearization
+//!
+//! `help_split` is idempotent and runs on every thread that observes the
+//! frozen bit: snapshot the survivors (immutable once frozen), mark the
+//! anchor's tower top-down under the marked-pointer protocol, publish the
+//! replacement block(s) through the forward word (first CAS wins; losers
+//! discard their candidates unpublished), and install the winner by
+//! swinging the predecessor's level-0 reference. The migration is
+//! invisible to readers: a key present in the frozen block is present in
+//! its replacement, and point operations never read a frozen snapshot —
+//! they help first and retry, so the lookup always lands on the live
+//! incarnation. The install bumps the dead anchor's generation (directly,
+//! or through retirement when reclamation is on), so cached
+//! [`NodeRef`]-based block hints fail validation instead of resurrecting
+//! a migrated block.
+
+use super::{NodePtr, NodeRef, PinGuard, SkipGraph};
+use crate::node::Node;
+use crate::params::GraphConfig;
+use crate::sync::{FacadeAtomicUsize, TagPtr};
+use instrument::ThreadCtx;
+use std::cmp::Ordering as CmpOrdering;
+use std::marker::PhantomData;
+use std::ops::Bound;
+use std::ptr::NonNull;
+
+/// Smallest supported blocking factor. A 1-slot block would re-freeze
+/// immediately after every split (the replacement is born full), so the
+/// unblocked ablation point is the plain [`SkipGraph`], not `cap = 1`.
+pub const MIN_BLOCK_CAP: usize = 2;
+/// Largest supported blocking factor (present/claimed bitmaps are 16 bits
+/// each).
+pub const MAX_BLOCK_CAP: usize = 16;
+
+const CLAIMED_SHIFT: u32 = 16;
+const FROZEN: usize = 1 << 32;
+const PREFIX_SHIFT: u32 = 33;
+const PREFIX_MASK: usize = 0x3F;
+const FORWARD_OFFSET: usize = 8;
+const SLOTS_OFFSET: usize = 16;
+
+#[inline]
+fn present_bit(i: usize) -> usize {
+    1 << i
+}
+#[inline]
+fn claimed_bit(i: usize) -> usize {
+    1 << (CLAIMED_SHIFT + i as u32)
+}
+#[inline]
+fn present_bits(w: usize) -> usize {
+    w & 0xFFFF
+}
+#[inline]
+fn claimed_bits(w: usize) -> usize {
+    (w >> CLAIMED_SHIFT) & 0xFFFF
+}
+#[inline]
+fn is_frozen(w: usize) -> bool {
+    w & FROZEN != 0
+}
+#[inline]
+fn prefix_len(w: usize) -> usize {
+    (w >> PREFIX_SHIFT) & PREFIX_MASK
+}
+#[inline]
+fn slot_mask(cap: usize) -> usize {
+    (1 << cap) - 1
+}
+
+/// Bytes of trailing block storage a node needs for `cap` entry slots
+/// (control + forward words + slots, rounded up to pointer alignment).
+pub(crate) fn block_layout_bytes<K, V>(cap: usize) -> usize {
+    let raw = SLOTS_OFFSET + cap * std::mem::size_of::<(K, V)>();
+    (raw + 7) & !7
+}
+
+type BNode<K> = Node<K, ()>;
+type BPtr<K> = NodePtr<K, ()>;
+
+/// A typed view of one anchor's trailing block region. Purely a pointer
+/// package: carries no lifetime, so callers must hold a reclamation pin
+/// for as long as they use it (same contract as raw node pointers).
+struct Blk<K, V> {
+    base: *mut u8,
+    cap: usize,
+    _kv: PhantomData<*mut (K, V)>,
+}
+
+impl<K: Copy, V: Copy> Blk<K, V> {
+    /// # Safety
+    ///
+    /// `anchor` must point at a live (pinned) node of a graph configured
+    /// with `block_bytes >= block_layout_bytes::<K, V>(cap)`.
+    unsafe fn of(anchor: NonNull<BNode<K>>, cap: usize) -> Self {
+        Self {
+            base: Node::block_base(anchor),
+            cap,
+            _kv: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn control(&self) -> &FacadeAtomicUsize {
+        // Safety: the region is 8-aligned (nodes are 8-aligned, header and
+        // tower sizes are multiples of 8) and zero-initialized by the
+        // arena, which is a valid `FacadeAtomicUsize`.
+        unsafe { &*(self.base as *const FacadeAtomicUsize) }
+    }
+
+    #[inline]
+    fn forward(&self) -> &FacadeAtomicUsize {
+        unsafe { &*(self.base.add(FORWARD_OFFSET) as *const FacadeAtomicUsize) }
+    }
+
+    /// Raw slot projection. Never forms a reference: slots are read and
+    /// written through raw pointers so unpublished slots (plain memory
+    /// owned by one claiming writer) never alias a shared borrow.
+    #[inline]
+    unsafe fn slot(&self, i: usize) -> *mut (K, V) {
+        debug_assert!(i < self.cap);
+        (self.base.add(SLOTS_OFFSET) as *mut (K, V)).add(i)
+    }
+
+    /// Reads a published (or prefix) slot. Safe against concurrent
+    /// removal: slots are write-once, and the claim CAS / publish CAS
+    /// pair orders the write before any reader's acquire of the control
+    /// word.
+    #[inline]
+    unsafe fn read(&self, i: usize) -> (K, V) {
+        std::ptr::read(self.slot(i))
+    }
+
+    #[inline]
+    unsafe fn key_at(&self, i: usize) -> K {
+        (*self.slot(i)).0
+    }
+
+    #[inline]
+    unsafe fn write(&self, i: usize, e: (K, V)) {
+        std::ptr::write(self.slot(i), e)
+    }
+}
+
+/// Aggregate footprint of a [`BlockedSkipMap`], for the blocking-ablation
+/// benchmarks: how many anchors carry how many live entries, and what the
+/// per-key byte cost works out to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockedStats {
+    /// Live (unmarked) anchor nodes on the bottom list.
+    pub anchors: usize,
+    /// Live entries summed over those anchors' present bitmaps.
+    pub entries: usize,
+    /// Bytes consumed by allocated node slots, towers and blocks included.
+    pub allocated_bytes: usize,
+    /// `allocated_bytes / entries` (0 when empty).
+    pub bytes_per_key: f64,
+}
+
+/// A lock-free ordered map with fat level-0 blocks over a [`SkipGraph`].
+///
+/// Keys and values are `Copy` so block migration is a plain memcpy and
+/// readers need no per-entry synchronization; the inner graph runs the
+/// lazy protocol (searches never relink level-0 chains), which keeps a
+/// frozen block reachable until its replacement is installed.
+pub struct BlockedSkipMap<K, V> {
+    graph: SkipGraph<K, ()>,
+    cap: usize,
+    /// Drives deterministic anchor tower heights in sparse mode: the
+    /// `n`-th anchor gets height `trailing_zeros(n)` (capped), i.e. the
+    /// geometric distribution without per-thread RNG state.
+    anchor_seq: FacadeAtomicUsize,
+    _values: PhantomData<V>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for BlockedSkipMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BlockedSkipMap<K, V> {}
+
+impl<K, V> BlockedSkipMap<K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    /// Builds a blocked map for `config` with `cap` entry slots per
+    /// block. The configuration is forced lazy (see the type docs) and
+    /// its `block_bytes` is derived from `cap` and the entry stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is outside [`MIN_BLOCK_CAP`]`..=`[`MAX_BLOCK_CAP`]
+    /// or the entry type is over-aligned (block slots are 8-aligned).
+    pub fn new(config: GraphConfig, cap: usize) -> Self {
+        assert!(
+            (MIN_BLOCK_CAP..=MAX_BLOCK_CAP).contains(&cap),
+            "block capacity must be in {MIN_BLOCK_CAP}..={MAX_BLOCK_CAP}"
+        );
+        assert!(
+            std::mem::align_of::<(K, V)>() <= 8,
+            "block entries must be at most 8-aligned"
+        );
+        debug_assert_eq!(std::mem::size_of::<usize>(), 8);
+        let config = config
+            .lazy(true)
+            .block_bytes(block_layout_bytes::<K, V>(cap));
+        Self {
+            graph: SkipGraph::new(config),
+            cap,
+            anchor_seq: FacadeAtomicUsize::new(1),
+            _values: PhantomData,
+        }
+    }
+
+    /// The blocking factor the map was built with.
+    pub fn block_capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The inner skip graph (anchors only; entries live in the blocks).
+    pub fn shared(&self) -> &SkipGraph<K, ()> {
+        &self.graph
+    }
+
+    fn anchor_height(&self) -> u8 {
+        let cfg = self.graph.config();
+        if !cfg.sparse {
+            return cfg.max_level;
+        }
+        let n = self.anchor_seq.fetch_add(1);
+        (n.trailing_zeros() as u8).min(cfg.max_level)
+    }
+
+    #[inline]
+    unsafe fn blk(&self, anchor: NonNull<BNode<K>>) -> Blk<K, V> {
+        unsafe { Blk::of(anchor, self.cap) }
+    }
+
+    /// The block responsible for `key` right now: the last data anchor
+    /// with key `<= key` on the raw level-0 chain (marked anchors
+    /// included — a frozen block still owns its keys until replaced), or
+    /// the first data anchor when every anchor key exceeds `key` (the
+    /// first block covers `-inf`). `None` only when the map holds no data
+    /// nodes at all.
+    fn covering_anchor(&self, key: &K, ctx: &ThreadCtx) -> Option<NonNull<BNode<K>>> {
+        let mvec = self.graph.membership_of(ctx.id());
+        let res = self.graph.search_from(key, mvec, None, false, ctx);
+        if res.found {
+            return NonNull::new(res.succs[0]);
+        }
+        let mut best: Option<NonNull<BNode<K>>> = None;
+        let mut cur = res.preds[0];
+        if cur.is_null() {
+            cur = self.graph.head(0, mvec);
+        }
+        loop {
+            let node = unsafe { &*cur };
+            match node.cmp_key(key) {
+                CmpOrdering::Greater => break,
+                _ => {
+                    if node.is_data() {
+                        best = Some(unsafe { NonNull::new_unchecked(cur) });
+                    }
+                }
+            }
+            let next = node.load_next(0, ctx).ptr();
+            if next.is_null() {
+                break;
+            }
+            cur = next;
+        }
+        if best.is_some() {
+            return best;
+        }
+        // Every anchor key exceeds `key`: the first data anchor (live or
+        // dying) covers it.
+        let mut cur = self.graph.head(0, mvec);
+        loop {
+            let node = unsafe { &*cur };
+            if node.is_tail() {
+                return None;
+            }
+            if node.is_data() {
+                return Some(unsafe { NonNull::new_unchecked(cur) });
+            }
+            cur = node.load_next(0, ctx).ptr();
+        }
+    }
+
+    /// Helps every dying data anchor on a marked level-0 chain
+    /// (exclusive of `end`). In the blocked map a marked data node is
+    /// always frozen — marking only ever happens inside [`Self::help_split`].
+    fn help_marked_chain(&self, first: BPtr<K>, end: BPtr<K>, ctx: &ThreadCtx) {
+        let mut cur = first;
+        while cur != end && !cur.is_null() {
+            let node = unsafe { &*cur };
+            if node.is_data() {
+                self.help_split(unsafe { NonNull::new_unchecked(cur) }, ctx);
+            }
+            cur = node.load_next_raw(0).ptr();
+        }
+    }
+
+    /// Creates the map's first anchor, seeded with `(key, value)` already
+    /// published in its block; the level-0 link CAS is the insert's
+    /// linearization point. Only succeeds while the bottom list is
+    /// completely empty — any concurrent anchor makes this return `false`
+    /// so the caller re-resolves coverage. Never substitutes a marked
+    /// chain: snipping a frozen anchor here would race its pending
+    /// replacement, so frozen residue is helped out of the way instead.
+    fn link_anchor(&self, key: K, value: V, ctx: &ThreadCtx) -> bool {
+        let mvec = self.graph.membership_of(ctx.id());
+        let mut pending: Option<NonNull<BNode<K>>> = None;
+        let linked = loop {
+            let mut res = self.graph.search_from(&key, mvec, None, false, ctx);
+            let succ = res.succs[0];
+            if res.found
+                || !unsafe { &*res.preds[0] }.is_head()
+                || !unsafe { &*succ }.is_tail()
+            {
+                break false; // map is no longer empty: insert via coverage
+            }
+            let m0 = res.middles[0];
+            if m0.ptr() != succ {
+                self.help_marked_chain(m0.ptr(), succ, ctx);
+                continue;
+            }
+            let node = match pending {
+                Some(n) => n,
+                None => {
+                    let n = self.graph.alloc_node(key, (), ctx, self.anchor_height());
+                    let blk = unsafe { self.blk(n) };
+                    unsafe { blk.write(0, (key, value)) };
+                    blk.control()
+                        .store(present_bit(0) | claimed_bit(0) | (1 << PREFIX_SHIFT));
+                    pending = Some(n);
+                    n
+                }
+            };
+            unsafe { node.as_ref() }.store_next(0, TagPtr::clean(succ));
+            let pred = unsafe { &*res.preds[0] };
+            if pred
+                .cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
+                .is_ok()
+            {
+                pending = None;
+                self.graph.link_upper(node, &mut res, ctx, || None);
+                break true;
+            }
+        };
+        if let Some(n) = pending {
+            self.graph.discard_unpublished(n, ctx);
+        }
+        linked
+    }
+
+    /// Inserts `key -> value`; `false` if the key was present.
+    pub fn insert(&self, key: K, value: V, ctx: &ThreadCtx) -> bool {
+        let _pin = self.graph.pin(ctx);
+        self.insert_pinned(key, value, None, ctx).0
+    }
+
+    fn insert_pinned(
+        &self,
+        key: K,
+        value: V,
+        mut start: Option<NonNull<BNode<K>>>,
+        ctx: &ThreadCtx,
+    ) -> (bool, Option<NonNull<BNode<K>>>) {
+        loop {
+            let anchor = match start.take().or_else(|| self.covering_anchor(&key, ctx)) {
+                Some(a) => a,
+                None => {
+                    if self.link_anchor(key, value, ctx) {
+                        return (true, None);
+                    }
+                    continue;
+                }
+            };
+            let blk = unsafe { self.blk(anchor) };
+            // Claim phase: reserve an unclaimed slot, or freeze a full
+            // block and help replace it.
+            let mut w = blk.control().load();
+            let slot = loop {
+                if is_frozen(w) {
+                    self.help_split(anchor, ctx);
+                    break usize::MAX; // retry from a fresh covering anchor
+                }
+                let free = !claimed_bits(w) & slot_mask(self.cap);
+                if free == 0 {
+                    match blk.control().compare_exchange(w, w | FROZEN) {
+                        Ok(_) => {
+                            self.help_split(anchor, ctx);
+                            break usize::MAX;
+                        }
+                        Err(cur) => {
+                            w = cur;
+                            continue;
+                        }
+                    }
+                }
+                let i = free.trailing_zeros() as usize;
+                match blk.control().compare_exchange(w, w | claimed_bit(i)) {
+                    Ok(_) => break i,
+                    Err(cur) => w = cur,
+                }
+            };
+            if slot == usize::MAX {
+                continue;
+            }
+            // The slot is exclusively ours: write the pair, then publish.
+            unsafe { blk.write(slot, (key, value)) };
+            let mut w = blk.control().load();
+            loop {
+                if is_frozen(w) {
+                    // The block froze between claim and publish; the claim
+                    // dies with it (survivor sets read present bits only).
+                    #[cfg(feature = "bug-injection")]
+                    {
+                        // Injected bug: skip the post-split recheck and
+                        // report success for an entry that never became
+                        // present — the lost-insert window the
+                        // differential test wall must catch.
+                        return (true, None);
+                    }
+                    #[allow(unreachable_code)]
+                    {
+                        self.help_split(anchor, ctx);
+                        break;
+                    }
+                }
+                if let Some(i) = self.scan_present(&blk, w, &key) {
+                    debug_assert_ne!(i, slot);
+                    // Duplicate: linearized at the load of `w`. Return the
+                    // claim so the slot can serve a later writer.
+                    loop {
+                        if is_frozen(w) {
+                            break;
+                        }
+                        match blk.control().compare_exchange(w, w & !claimed_bit(slot)) {
+                            Ok(_) => break,
+                            Err(cur) => w = cur,
+                        }
+                    }
+                    return (false, Some(anchor));
+                }
+                // Publish: succeeding against an unfrozen word proves the
+                // block still covers `key` (coverage invariant), so this
+                // CAS linearizes the insert.
+                match blk.control().compare_exchange(w, w | present_bit(slot)) {
+                    Ok(_) => return (true, Some(anchor)),
+                    Err(cur) => w = cur,
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; `false` if it was absent.
+    pub fn remove(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        let _pin = self.graph.pin(ctx);
+        self.remove_pinned(key, None, ctx).0
+    }
+
+    fn remove_pinned(
+        &self,
+        key: &K,
+        mut start: Option<NonNull<BNode<K>>>,
+        ctx: &ThreadCtx,
+    ) -> (bool, Option<NonNull<BNode<K>>>) {
+        loop {
+            let anchor = match start.take().or_else(|| self.covering_anchor(key, ctx)) {
+                Some(a) => a,
+                None => return (false, None),
+            };
+            let blk = unsafe { self.blk(anchor) };
+            let mut w = blk.control().load();
+            loop {
+                if is_frozen(w) {
+                    self.help_split(anchor, ctx);
+                    break; // retry from a fresh covering anchor
+                }
+                let Some(i) = self.scan_present(&blk, w, key) else {
+                    return (false, Some(anchor)); // linearized at the load of `w`
+                };
+                // Tombstone: clear the present bit, keep the claim (slots
+                // are write-once; the key stays readable forever).
+                match blk.control().compare_exchange(w, w & !present_bit(i)) {
+                    Ok(_) => {
+                        let now = w & !present_bit(i);
+                        if present_bits(now) == 0 {
+                            // Emptied the block: opportunistically freeze
+                            // it so the merge path unlinks the dead anchor.
+                            // Losing this CAS means a writer claimed a slot
+                            // (or froze it first) — either way, not ours.
+                            if blk.control().compare_exchange(now, now | FROZEN).is_ok() {
+                                self.help_split(anchor, ctx);
+                            }
+                        }
+                        return (true, Some(anchor));
+                    }
+                    Err(cur) => w = cur,
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`, returning its value.
+    pub fn get(&self, key: &K, ctx: &ThreadCtx) -> Option<V> {
+        let _pin = self.graph.pin(ctx);
+        self.get_pinned(key, None, ctx).0
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K, ctx: &ThreadCtx) -> bool {
+        self.get(key, ctx).is_some()
+    }
+
+    fn get_pinned(
+        &self,
+        key: &K,
+        mut start: Option<NonNull<BNode<K>>>,
+        ctx: &ThreadCtx,
+    ) -> (Option<V>, Option<NonNull<BNode<K>>>) {
+        loop {
+            let anchor = match start.take().or_else(|| self.covering_anchor(key, ctx)) {
+                Some(a) => a,
+                None => return (None, None),
+            };
+            let blk = unsafe { self.blk(anchor) };
+            let w = blk.control().load();
+            if is_frozen(w) {
+                // A frozen snapshot is not linearizable for point reads
+                // (the replacement may already hold newer entries): help
+                // the split along and retry on the live block.
+                self.help_split(anchor, ctx);
+                continue;
+            }
+            // Fast path: binary search the sorted prefix laid down when
+            // the block was built.
+            let n = prefix_len(w);
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                match unsafe { blk.key_at(mid) }.cmp(key) {
+                    CmpOrdering::Less => lo = mid + 1,
+                    CmpOrdering::Greater => hi = mid,
+                    CmpOrdering::Equal => {
+                        if w & present_bit(mid) != 0 {
+                            return (Some(unsafe { blk.read(mid) }.1), Some(anchor));
+                        }
+                        // Tombstoned in the prefix; the key may have been
+                        // re-inserted into the unsorted tail.
+                        break;
+                    }
+                }
+            }
+            // Slow path: linear scan of the append region.
+            for i in n..self.cap {
+                if w & present_bit(i) != 0 && unsafe { blk.key_at(i) } == *key {
+                    return (Some(unsafe { blk.read(i) }.1), Some(anchor));
+                }
+            }
+            return (None, Some(anchor));
+        }
+    }
+
+    /// Index of the present slot holding `key` under control word `w`.
+    fn scan_present(&self, blk: &Blk<K, V>, w: usize, key: &K) -> Option<usize> {
+        (0..self.cap)
+            .find(|&i| w & present_bit(i) != 0 && unsafe { blk.key_at(i) } == *key)
+    }
+
+    /// Builds a replacement block holding `entries` (sorted, nonempty),
+    /// its level-0 reference already pointing at `next`. The node is
+    /// unpublished until an install CAS makes it reachable.
+    fn build_block(
+        &self,
+        entries: &[(K, V)],
+        next: TagPtr<BNode<K>>,
+        ctx: &ThreadCtx,
+    ) -> NonNull<BNode<K>> {
+        let n = entries.len();
+        debug_assert!(n >= 1 && n <= self.cap);
+        let node = self
+            .graph
+            .alloc_node(entries[0].0, (), ctx, self.anchor_height());
+        let blk = unsafe { self.blk(node) };
+        for (i, e) in entries.iter().enumerate() {
+            unsafe { blk.write(i, *e) };
+        }
+        let m = slot_mask(n);
+        blk.control()
+            .store(m | (m << CLAIMED_SHIFT) | (n << PREFIX_SHIFT));
+        unsafe { node.as_ref() }.store_next(0, next);
+        node
+    }
+
+    /// Replaces (or, with no survivors, unlinks) a frozen block.
+    /// Idempotent: every thread that observes the frozen bit runs this to
+    /// completion; CAS losers simply observe the winner's progress.
+    fn help_split(&self, anchor: NonNull<BNode<K>>, ctx: &ThreadCtx) {
+        let f = unsafe { anchor.as_ref() };
+        let blk = unsafe { self.blk(anchor) };
+        let frozen_w = blk.control().load();
+        debug_assert!(is_frozen(frozen_w), "help_split on a live block");
+
+        // (a) The survivor set: present bits are immutable once frozen, so
+        // every helper computes the same (sorted) migration payload.
+        let mut survivors: Vec<(K, V)> = (0..self.cap)
+            .filter(|&i| frozen_w & present_bit(i) != 0)
+            .map(|i| unsafe { blk.read(i) })
+            .collect();
+        survivors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        // (b) Mark the tower top-down, then level 0; after the level-0
+        // mark the anchor's successor is stable.
+        let top = f.top_level() as usize;
+        for level in (1..=top).rev() {
+            self.graph.help_mark(f, level, ctx);
+        }
+        self.graph.help_mark(f, 0, ctx);
+        let succ0 = f.load_next_raw(0).ptr();
+
+        // (c) Resolve the canonical replacement through the forward word:
+        // first publisher wins, losers free their never-published builds.
+        let replacement: Option<NonNull<BNode<K>>> = if survivors.is_empty() {
+            None // merge: the install is a plain unlink
+        } else {
+            let fwd = blk.forward().load();
+            if fwd != 0 {
+                Some(unsafe { NonNull::new_unchecked(fwd as BPtr<K>) })
+            } else {
+                let tail = TagPtr::clean(succ0);
+                let (n1, n2) = if survivors.len() > self.cap / 2 {
+                    let mid = survivors.len().div_ceil(2);
+                    let second = self.build_block(&survivors[mid..], tail, ctx);
+                    let first = self.build_block(
+                        &survivors[..mid],
+                        TagPtr::clean(second.as_ptr()),
+                        ctx,
+                    );
+                    (first, Some(second))
+                } else {
+                    (self.build_block(&survivors, tail, ctx), None)
+                };
+                match blk.forward().compare_exchange(0, n1.as_ptr() as usize) {
+                    Ok(_) => Some(n1),
+                    Err(winner) => {
+                        self.graph.discard_unpublished(n1, ctx);
+                        if let Some(n2) = n2 {
+                            self.graph.discard_unpublished(n2, ctx);
+                        }
+                        Some(unsafe { NonNull::new_unchecked(winner as BPtr<K>) })
+                    }
+                }
+            }
+        };
+        let target = replacement.map_or(succ0, NonNull::as_ptr);
+
+        // (d) Install: swing the predecessor's level-0 reference from the
+        // frozen anchor to the replacement chain (or straight to the
+        // successor for a merge). Exactly one CAS succeeds; that winner
+        // owns the post-install duties.
+        let won_install = 'install: loop {
+            let mut p = self.graph.head(0, f.mvec());
+            loop {
+                let pred = unsafe { &*p };
+                let w0 = pred.load_next(0, ctx);
+                if w0.ptr() == anchor.as_ptr() {
+                    if w0.marked() {
+                        // The predecessor is itself a dying frozen anchor;
+                        // its replacement will take over the reference to
+                        // us, so help it first and rescan.
+                        debug_assert!(pred.is_data());
+                        self.help_split(unsafe { NonNull::new_unchecked(p) }, ctx);
+                        continue 'install;
+                    }
+                    match pred.cas_next(0, w0, w0.with_ptr(target), ctx) {
+                        Ok(()) => break 'install true,
+                        Err(_) => continue 'install,
+                    }
+                }
+                if w0.ptr().is_null() {
+                    break 'install false;
+                }
+                let nref = unsafe { &*w0.ptr() };
+                if nref.is_tail() || nref.cmp_key(unsafe { f.key() }) == CmpOrdering::Greater {
+                    break 'install false; // already installed by another helper
+                }
+                p = w0.ptr();
+            }
+        };
+
+        if !won_install {
+            // The install is already decided, but the winner may still be
+            // mid-duties (or parked by the scheduler). Finishing the
+            // upper-level unlink here keeps every helper independently
+            // live: a frozen anchor left on upper levels keeps covering
+            // searches landing on it, since its own `next0` bypasses the
+            // replacement chain.
+            self.unlink_upper(anchor, ctx);
+            return;
+        }
+
+        // (e) Winner duties. The dead anchor's generation must move so
+        // cached block hints go stale: retirement bumps it when
+        // reclamation is on; bump directly otherwise.
+        if !self.graph.reclaim.enabled() {
+            f.bump_generation();
+        }
+        self.graph.note_unlinked_chain(anchor.as_ptr(), succ0, 0, ctx);
+        self.unlink_upper(anchor, ctx);
+
+        // The install winner links the replacements upward. The second
+        // block can only be recovered from `n1`'s level-0 reference, and
+        // by now that may already name n2's *own* replacement (n2 can
+        // fill and split the moment the install lands) — whose installer
+        // is linking it concurrently. That duplicate `link_upper` is
+        // tolerated: its self-successor hazard is neutralized by the
+        // already-reachable guard in `link_upper`, and upper links are a
+        // search accelerator, not a correctness requirement. A marked
+        // reference means `n1` itself is already dying; its replacement's
+        // installer owns any further linking.
+        if let Some(n1) = replacement {
+            let w = unsafe { n1.as_ref() }.load_next_raw(0);
+            self.link_replacement(n1, ctx);
+            // A dead successor may already have been excised, advancing
+            // the reference past `n2` — to an unrelated block (whose own
+            // linking is not our duty, but linking it is harmless) or to
+            // the tail sentinel (which has no key and must not be
+            // offered to the search).
+            if !w.marked() && w.ptr() != succ0 {
+                let n2 = unsafe { NonNull::new_unchecked(w.ptr()) };
+                if unsafe { n2.as_ref() }.is_data() {
+                    self.link_replacement(n2, ctx);
+                }
+            }
+        }
+    }
+
+    /// Links a freshly installed replacement block at its upper tower
+    /// levels (best effort: if the block died or was superseded already,
+    /// skip it).
+    fn link_replacement(&self, node: NonNull<BNode<K>>, ctx: &ThreadCtx) {
+        let n = unsafe { node.as_ref() };
+        if n.top_level() == 0 {
+            n.set_inserted();
+            return;
+        }
+        let key = unsafe { n.key() };
+        let mut res = self.graph.search_from(key, n.mvec(), None, false, ctx);
+        if res.found && res.succs[0] == node.as_ptr() {
+            self.graph.link_upper(node, &mut res, ctx, || None);
+        }
+    }
+
+    /// Physically unlinks a dead anchor from levels `1..=top` of its
+    /// associated list. Per level: walk from the head, excising *every*
+    /// dying anchor encountered on the way (their marked references are
+    /// frozen, so the splice target is stable); if the anchor is not
+    /// found the level was never linked or already unlinked — give up
+    /// (the safe leak mirrors `link_upper`'s abort path). Excising dead
+    /// predecessors ourselves instead of helping their own splits is what
+    /// keeps this loop live: two dying anchors that are each other's
+    /// upper-level predecessors would otherwise spin forever, since a
+    /// helper whose install CAS is already decided never reaches the
+    /// other's unlink duties. Only a thread's own successful CAS reports
+    /// the unlink, so retirement accounting never double-counts.
+    fn unlink_upper(&self, anchor: NonNull<BNode<K>>, ctx: &ThreadCtx) {
+        let f = unsafe { anchor.as_ref() };
+        let key = unsafe { f.key() };
+        for level in 1..=f.top_level() as usize {
+            // The anchor is fully marked, so its level reference is frozen.
+            debug_assert!(f.load_next_raw(level).marked());
+            'level: loop {
+                let mut p = self.graph.head(level as u8, f.mvec());
+                loop {
+                    let pred = unsafe { &*p };
+                    let w = pred.load_next(level, ctx);
+                    if w.ptr().is_null() {
+                        break 'level;
+                    }
+                    if w.marked() {
+                        // `pred` died under our feet mid-walk; restart so
+                        // the next pass from the head excises it first.
+                        continue 'level;
+                    }
+                    let nref = unsafe { &*w.ptr() };
+                    if nref.is_tail() || nref.cmp_key(key) == CmpOrdering::Greater {
+                        break 'level; // not on this level (anymore)
+                    }
+                    let nw = nref.load_next_raw(level);
+                    if nref.is_data() && nw.marked() {
+                        // A dying anchor (ours or another's): its marked
+                        // reference is frozen, so splice it out here.
+                        match pred.cas_next(level, w, w.with_ptr(nw.ptr()), ctx) {
+                            Ok(()) => {
+                                self.graph.note_unlinked_chain(w.ptr(), nw.ptr(), level, ctx);
+                                if w.ptr() == anchor.as_ptr() {
+                                    break 'level;
+                                }
+                                continue; // keep walking from `pred`
+                            }
+                            Err(_) => continue 'level,
+                        }
+                    }
+                    p = w.ptr();
+                }
+            }
+        }
+    }
+
+    /// Live entry count (a weak snapshot, like [`SkipGraph::len`]).
+    pub fn len(&self, ctx: &ThreadCtx) -> usize {
+        self.stats(ctx).entries
+    }
+
+    /// Whether the map holds no live entries.
+    pub fn is_empty(&self, ctx: &ThreadCtx) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// Footprint snapshot: anchors, entries, and bytes per live key.
+    pub fn stats(&self, ctx: &ThreadCtx) -> BlockedStats {
+        let _pin = self.graph.pin(ctx);
+        let mut anchors = 0usize;
+        let mut entries = 0usize;
+        let mut cur = self.graph.head(0, 0);
+        loop {
+            let node = unsafe { &*cur };
+            if node.is_tail() {
+                break;
+            }
+            let w0 = node.load_next(0, ctx);
+            if node.is_data() && !w0.marked() {
+                anchors += 1;
+                let blk = unsafe { self.blk(NonNull::new_unchecked(cur)) };
+                entries += present_bits(blk.control().load()).count_ones() as usize;
+            }
+            cur = w0.ptr();
+        }
+        let allocated_bytes = self.graph.memory_stats(ctx).allocated_bytes;
+        BlockedStats {
+            anchors,
+            entries,
+            allocated_bytes,
+            bytes_per_key: if entries == 0 {
+                0.0
+            } else {
+                allocated_bytes as f64 / entries as f64
+            },
+        }
+    }
+
+    /// Quiescent structural check for tests: inner graph invariants, plus
+    /// the blocked layer's own — strictly ascending anchor keys, coverage
+    /// (non-first blocks hold no key below their anchor, no block holds a
+    /// key at or above its successor anchor), no frozen residue, and no
+    /// duplicate keys across blocks.
+    pub fn check_invariants(&self, ctx: &ThreadCtx) -> Result<(), String>
+    where
+        K: std::fmt::Debug,
+    {
+        self.graph.check_invariants()?;
+        let _pin = self.graph.pin(ctx);
+        let mut last_anchor: Option<K> = None;
+        let mut last_key: Option<K> = None;
+        let mut first_block = true;
+        let mut cur = self.graph.head(0, 0);
+        loop {
+            let node = unsafe { &*cur };
+            if node.is_tail() {
+                return Ok(());
+            }
+            let w0 = node.load_next(0, ctx);
+            if node.is_data() {
+                if w0.marked() {
+                    return Err(format!(
+                        "marked anchor {:?} still linked at quiescence",
+                        unsafe { node.key() }
+                    ));
+                }
+                let anchor_key = *unsafe { node.key() };
+                if last_anchor.is_some_and(|a| a >= anchor_key) {
+                    return Err(format!("anchor keys not ascending at {anchor_key:?}"));
+                }
+                last_anchor = Some(anchor_key);
+                let blk = unsafe { self.blk(NonNull::new_unchecked(cur)) };
+                let w = blk.control().load();
+                if is_frozen(w) {
+                    return Err(format!("frozen block {anchor_key:?} at quiescence"));
+                }
+                if present_bits(w) & !claimed_bits(w) != 0 {
+                    return Err(format!("present-but-unclaimed slot in {anchor_key:?}"));
+                }
+                let succ_key: Option<K> = {
+                    let s = unsafe { &*w0.ptr() };
+                    s.is_data().then(|| *unsafe { s.key() })
+                };
+                let mut keys: Vec<K> = (0..self.cap)
+                    .filter(|&i| w & present_bit(i) != 0)
+                    .map(|i| unsafe { blk.key_at(i) })
+                    .collect();
+                keys.sort_unstable();
+                for k in keys {
+                    if !first_block && k < anchor_key {
+                        return Err(format!("{k:?} below its anchor {anchor_key:?}"));
+                    }
+                    if succ_key.is_some_and(|s| k >= s) {
+                        return Err(format!("{k:?} not below successor anchor"));
+                    }
+                    if last_key.is_some_and(|p| p >= k) {
+                        return Err(format!("duplicate or unordered key {k:?}"));
+                    }
+                    last_key = Some(k);
+                }
+                first_block = false;
+            }
+            cur = w0.ptr();
+        }
+    }
+}
+
+/// Per-thread handle for a [`BlockedSkipMap`]: carries the thread's
+/// recording context and a cached *block hint* — a generation-checked
+/// [`NodeRef`] to the anchor the previous operation landed in. Sorted
+/// runs of keys keep hitting the same block, so a validated hint skips
+/// the tower descent entirely (the blocked analogue of the batch
+/// executor's sorted-run hint chains).
+pub struct BlockedHandle<'g, K, V> {
+    map: &'g BlockedSkipMap<K, V>,
+    ctx: ThreadCtx,
+    hint: Option<NodeRef<K, ()>>,
+}
+
+impl<'g, K, V> BlockedHandle<'g, K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    /// The recording context of this thread.
+    pub fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+
+    /// Revalidates the cached block hint for `key` under the current
+    /// pin: the anchor must still be its live incarnation (generation
+    /// check), unmarked, and covering — `anchor.key <= key` and the
+    /// direct successor past `key`. Keys below the anchor (the
+    /// first-block case) take the full search; only a split of the
+    /// hinted block can create a closer anchor above it, and splits
+    /// freeze the block first, so the operation's own frozen check
+    /// closes the remaining window.
+    fn validated_hint(&self, key: &K) -> Option<NonNull<BNode<K>>> {
+        let hint = self.hint.as_ref()?;
+        let node = hint.node()?;
+        if !node.is_data() {
+            return None;
+        }
+        let w0 = node.load_next_raw(0);
+        if w0.marked() || w0.ptr().is_null() {
+            return None;
+        }
+        if node.cmp_key(key) == CmpOrdering::Greater {
+            return None;
+        }
+        if unsafe { &*w0.ptr() }.cmp_key(key) != CmpOrdering::Greater {
+            return None;
+        }
+        Some(hint.ptr)
+    }
+
+    fn start_for(&self, key: &K) -> Option<NonNull<BNode<K>>> {
+        let start = self.validated_hint(key);
+        if start.is_some() {
+            // One node inspected instead of a full descent.
+            self.ctx.record_hinted_search(1);
+        }
+        start
+    }
+
+    fn cache(&mut self, anchor: Option<NonNull<BNode<K>>>) {
+        // Captured under the operation's pin (the caller holds it), so the
+        // generation read is safe; validation happens under the *next*
+        // operation's pin.
+        self.hint = anchor.map(NodeRef::new);
+    }
+
+    /// Inserts `key -> value`; `false` if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.ctx.record_op();
+        let _pin = self.map.graph.pin(&self.ctx);
+        let start = self.start_for(&key);
+        let (ok, anchor) = self.map.insert_pinned(key, value, start, &self.ctx);
+        self.cache(anchor);
+        ok
+    }
+
+    /// Removes `key`; `false` if it was absent.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.ctx.record_op();
+        let _pin = self.map.graph.pin(&self.ctx);
+        let start = self.start_for(key);
+        let (ok, anchor) = self.map.remove_pinned(key, start, &self.ctx);
+        self.cache(anchor);
+        ok
+    }
+
+    /// Looks up `key`, returning its value.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.ctx.record_op();
+        let _pin = self.map.graph.pin(&self.ctx);
+        let start = self.start_for(key);
+        let (v, anchor) = self.map.get_pinned(key, start, &self.ctx);
+        self.cache(anchor);
+        v
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<K, V> BlockedSkipMap<K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    /// Registers a thread, returning its hint-caching handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx.id()` is outside the configured thread range.
+    pub fn register(&self, ctx: ThreadCtx) -> BlockedHandle<'_, K, V> {
+        assert!(
+            (ctx.id() as usize) < self.graph.config().num_threads,
+            "thread id out of range"
+        );
+        BlockedHandle {
+            map: self,
+            ctx,
+            hint: None,
+        }
+    }
+}
+
+#[inline]
+fn before_start<K: Ord>(k: &K, start: &Bound<K>) -> bool {
+    match start {
+        Bound::Unbounded => false,
+        Bound::Included(s) => k < s,
+        Bound::Excluded(s) => k <= s,
+    }
+}
+
+#[inline]
+fn beyond_end<K: Ord>(k: &K, end: &Bound<K>) -> bool {
+    match end {
+        Bound::Unbounded => false,
+        Bound::Included(e) => k > e,
+        Bound::Excluded(e) => k >= e,
+    }
+}
+
+/// Ascending iterator over live entries in a key range, by block. Each
+/// block is observed once — its control word and level-0 successor are
+/// loaded in the same visit — so the scan is a *weak per-block snapshot*:
+/// entries inserted into an already-passed block are missed, but no key
+/// is yielded twice and the output is strictly ascending even when blocks
+/// split or merge mid-scan (a block's entries are bounded by its
+/// successor anchor's key at visit time, and replacement blocks are never
+/// reachable through the dead block's own successor reference).
+///
+/// Holds a reclamation pin for its whole lifetime, so passed blocks stay
+/// readable.
+pub struct BlockedRangeIter<'g, K, V> {
+    map: &'g BlockedSkipMap<K, V>,
+    ctx: &'g ThreadCtx,
+    cur: BPtr<K>,
+    start: Bound<K>,
+    end: Bound<K>,
+    /// High-water mark backing the strict-ascent guarantee.
+    last: Option<K>,
+    /// Current block's in-range entries, reversed so `pop` ascends.
+    buf: Vec<(K, V)>,
+    visited: usize,
+    _pin: PinGuard<'g, K, ()>,
+}
+
+impl<K, V> BlockedSkipMap<K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    /// Scans live entries with keys in the range given by the bounds,
+    /// ascending.
+    pub fn range<'g>(
+        &'g self,
+        start: Bound<&K>,
+        end: Bound<K>,
+        ctx: &'g ThreadCtx,
+    ) -> BlockedRangeIter<'g, K, V> {
+        let pin = self.graph.pin(ctx);
+        let cur = match start {
+            Bound::Unbounded => self.graph.head(0, self.graph.membership_of(ctx.id())),
+            Bound::Included(k) | Bound::Excluded(k) => self
+                .covering_anchor(k, ctx)
+                .map_or(std::ptr::null_mut(), NonNull::as_ptr),
+        };
+        BlockedRangeIter {
+            map: self,
+            ctx,
+            cur,
+            start: match start {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(k) => Bound::Included(*k),
+                Bound::Excluded(k) => Bound::Excluded(*k),
+            },
+            end,
+            last: None,
+            buf: Vec::new(),
+            visited: 0,
+            _pin: pin,
+        }
+    }
+
+    /// An unbounded ascending scan.
+    pub fn iter<'g>(&'g self, ctx: &'g ThreadCtx) -> BlockedRangeIter<'g, K, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded, ctx)
+    }
+
+    /// Collects a range scan (convenience for tests and benchmarks).
+    pub fn range_to_vec(&self, start: Bound<&K>, end: Bound<K>, ctx: &ThreadCtx) -> Vec<(K, V)> {
+        self.range(start, end, ctx).collect()
+    }
+}
+
+impl<K, V> Iterator for BlockedRangeIter<'_, K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            while let Some(e) = self.buf.pop() {
+                if before_start(&e.0, &self.start) {
+                    continue;
+                }
+                if beyond_end(&e.0, &self.end) {
+                    self.buf.clear();
+                    self.cur = std::ptr::null_mut();
+                    return None;
+                }
+                if self.last.is_some_and(|l| l >= e.0) {
+                    continue;
+                }
+                self.last = Some(e.0);
+                return Some(e);
+            }
+            if self.cur.is_null() {
+                return None;
+            }
+            let node = unsafe { &*self.cur };
+            if node.is_tail() {
+                self.cur = std::ptr::null_mut();
+                return None;
+            }
+            if node.is_data() {
+                // After the first visited block, entries are at or above
+                // their anchor key: an out-of-range anchor ends the scan.
+                if self.visited > 0 {
+                    if let CmpOrdering::Greater | CmpOrdering::Equal = match &self.end {
+                        Bound::Unbounded => CmpOrdering::Less,
+                        Bound::Included(e) => {
+                            if node.cmp_key(e) == CmpOrdering::Greater {
+                                CmpOrdering::Greater
+                            } else {
+                                CmpOrdering::Less
+                            }
+                        }
+                        Bound::Excluded(e) => {
+                            if node.cmp_key(e) != CmpOrdering::Less {
+                                CmpOrdering::Greater
+                            } else {
+                                CmpOrdering::Less
+                            }
+                        }
+                    } {
+                        self.cur = std::ptr::null_mut();
+                        return None;
+                    }
+                }
+                self.visited += 1;
+                // The same-visit pair: the entry snapshot is taken no
+                // later than the successor reference, which is what keeps
+                // the per-block snapshots duplicate-free across a
+                // concurrent split (the dead block's own reference never
+                // points at its replacements).
+                let blk = unsafe { self.map.blk(NonNull::new_unchecked(self.cur)) };
+                let w = blk.control().load();
+                let next = node.load_next(0, self.ctx).ptr();
+                for i in 0..self.map.cap {
+                    if w & present_bit(i) != 0 {
+                        self.buf.push(unsafe { blk.read(i) });
+                    }
+                }
+                self.buf.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+                self.cur = next;
+            } else {
+                self.cur = node.load_next(0, self.ctx).ptr();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn cfg(threads: usize) -> GraphConfig {
+        GraphConfig::new(threads).chunk_capacity(256)
+    }
+
+    fn ctx() -> ThreadCtx {
+        ThreadCtx::plain(0)
+    }
+
+    #[test]
+    fn control_word_bit_packing() {
+        let w = present_bit(3) | claimed_bit(3) | claimed_bit(7) | (5 << PREFIX_SHIFT);
+        assert_eq!(present_bits(w), 0b1000);
+        assert_eq!(claimed_bits(w), 0b1000_1000);
+        assert_eq!(prefix_len(w), 5);
+        assert!(!is_frozen(w));
+        assert!(is_frozen(w | FROZEN));
+        // The bitmaps and the frozen/prefix fields never overlap.
+        assert_eq!(present_bits(FROZEN), 0);
+        assert_eq!(claimed_bits(FROZEN), 0);
+        assert_eq!(prefix_len(FROZEN), 0);
+        assert_eq!(prefix_len(PREFIX_MASK << PREFIX_SHIFT), PREFIX_MASK);
+    }
+
+    #[test]
+    fn layout_bytes_stay_pointer_aligned() {
+        for cap in MIN_BLOCK_CAP..=MAX_BLOCK_CAP {
+            assert_eq!(block_layout_bytes::<u64, u64>(cap) % 8, 0);
+            assert_eq!(block_layout_bytes::<u32, u8>(cap) % 8, 0);
+        }
+        assert_eq!(block_layout_bytes::<u64, u64>(4), 16 + 4 * 16);
+    }
+
+    #[test]
+    fn single_block_insert_get_remove() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let c = ctx();
+        assert!(map.is_empty(&c));
+        assert!(map.insert(10, 100, &c));
+        assert!(map.insert(5, 50, &c));
+        assert!(!map.insert(10, 999, &c), "duplicate insert must fail");
+        assert_eq!(map.get(&10, &c), Some(100));
+        assert_eq!(map.get(&5, &c), Some(50));
+        assert_eq!(map.get(&7, &c), None);
+        assert!(map.remove(&10, &c));
+        assert!(!map.remove(&10, &c), "double remove must fail");
+        assert_eq!(map.get(&10, &c), None);
+        assert!(map.contains(&5, &c));
+        assert_eq!(map.len(&c), 1);
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn splits_preserve_entries() {
+        const N: u64 = if cfg!(miri) { 24 } else { 200 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 4);
+        let c = ctx();
+        for k in 0..N {
+            assert!(map.insert(k, k * 2, &c), "insert {k}");
+        }
+        for k in 0..N {
+            assert_eq!(map.get(&k, &c), Some(k * 2), "lookup {k}");
+        }
+        let stats = map.stats(&c);
+        assert_eq!(stats.entries, N as usize);
+        assert!(
+            stats.anchors > N as usize / 4 && stats.anchors <= N as usize,
+            "blocking factor out of range: {} anchors for {N} keys",
+            stats.anchors
+        );
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn merges_unlink_emptied_blocks() {
+        const N: u64 = if cfg!(miri) { 16 } else { 64 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 4);
+        let c = ctx();
+        for k in 0..N {
+            map.insert(k, k, &c);
+        }
+        for k in 0..N {
+            assert!(map.remove(&k, &c), "remove {k}");
+        }
+        assert!(map.is_empty(&c));
+        assert_eq!(map.stats(&c).anchors, 0, "emptied blocks must unlink");
+        map.check_invariants(&c).unwrap();
+        // The map stays usable: the next insert recreates a first anchor.
+        assert!(map.insert(7, 7, &c));
+        assert_eq!(map.get(&7, &c), Some(7));
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn first_block_covers_keys_below_its_anchor() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let c = ctx();
+        assert!(map.insert(100, 1, &c));
+        // Both land in the block anchored at 100 (no anchor <= them).
+        assert!(map.insert(50, 2, &c));
+        assert!(map.insert(1, 3, &c));
+        assert_eq!(map.get(&50, &c), Some(2));
+        assert_eq!(map.get(&1, &c), Some(3));
+        assert_eq!(map.stats(&c).anchors, 1);
+        let keys: Vec<u64> = map.iter(&c).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 50, 100]);
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn range_bounds_match_btreemap() {
+        const N: u64 = if cfg!(miri) { 20 } else { 90 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 4);
+        let c = ctx();
+        let mut model = BTreeMap::new();
+        for k in (0..N).map(|i| (i * 7) % N) {
+            map.insert(k, k + 1, &c);
+            model.insert(k, k + 1);
+        }
+        for k in (0..N).step_by(3) {
+            map.remove(&k, &c);
+            model.remove(&k);
+        }
+        let lo = N / 4;
+        let hi = 3 * N / 4;
+        let cases: Vec<(Bound<u64>, Bound<u64>)> = vec![
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(lo), Bound::Excluded(hi)),
+            (Bound::Excluded(lo), Bound::Included(hi)),
+            (Bound::Included(0), Bound::Excluded(0)),
+            (Bound::Excluded(N), Bound::Unbounded),
+        ];
+        for (start, end) in cases {
+            let got = map.range_to_vec(start.as_ref(), end, &c);
+            let want: Vec<(u64, u64)> = model
+                .range((start, end))
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            assert_eq!(got, want, "range {start:?}..{end:?}");
+        }
+    }
+
+    #[test]
+    fn iterator_survives_split_mid_scan() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 4);
+        let c = ctx();
+        let original: Vec<u64> = (0..10).map(|i| i * 10).collect();
+        for &k in &original {
+            map.insert(k, k, &c);
+        }
+        let c2 = ThreadCtx::plain(0);
+        let mut iter = map.iter(&c2);
+        let mut seen = vec![iter.next().unwrap().0, iter.next().unwrap().0];
+        // Split blocks ahead of the scan position while the iterator is
+        // live: the stale successor chain must still reach every
+        // pre-existing key exactly once, in order.
+        for k in 41..=44 {
+            map.insert(k, k, &c);
+        }
+        for k in 71..=74 {
+            map.insert(k, k, &c);
+        }
+        seen.extend(iter.map(|(k, _)| k));
+        let mut ascending = seen.clone();
+        ascending.sort_unstable();
+        ascending.dedup();
+        assert_eq!(seen, ascending, "scan must stay strictly ascending");
+        for &k in &original {
+            assert!(seen.contains(&k), "pre-existing key {k} lost mid-scan");
+        }
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn sparse_anchor_heights_are_counter_driven() {
+        const N: u64 = if cfg!(miri) { 24 } else { 150 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(4).sparse(true), 4);
+        let c = ctx();
+        for k in 0..N {
+            map.insert(k, k, &c);
+        }
+        for k in 0..N {
+            assert_eq!(map.get(&k, &c), Some(k), "lookup {k}");
+        }
+        map.check_invariants(&c).unwrap();
+    }
+
+    #[test]
+    fn handle_hint_accelerates_sorted_runs() {
+        const N: u64 = if cfg!(miri) { 24 } else { 120 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(2), 8);
+        let mut h = map.register(ThreadCtx::plain(0));
+        for k in 0..N {
+            assert!(h.insert(k, k));
+        }
+        for k in 0..N {
+            assert_eq!(h.get(&k), Some(k));
+        }
+        assert!(!h.insert(0, 0));
+        assert!(h.remove(&0));
+        assert!(!h.contains(&0));
+        let c = ctx();
+        map.check_invariants(&c).unwrap();
+    }
+
+    /// Miri regression: the raw in-block slot projection must stay inside
+    /// the node allocation's provenance and never alias the control word.
+    #[test]
+    fn slot_projection_roundtrip() {
+        let map = BlockedSkipMap::<u64, u32>::new(cfg(1), MAX_BLOCK_CAP);
+        let c = ctx();
+        let node = map.graph.alloc_node(42, (), &c, 0);
+        let blk = unsafe { map.blk(node) };
+        for i in 0..MAX_BLOCK_CAP {
+            unsafe { blk.write(i, (i as u64 * 3, i as u32)) };
+        }
+        blk.control().store(slot_mask(MAX_BLOCK_CAP));
+        for i in 0..MAX_BLOCK_CAP {
+            assert_eq!(unsafe { blk.read(i) }, (i as u64 * 3, i as u32));
+            assert_eq!(unsafe { blk.key_at(i) }, i as u64 * 3);
+        }
+        assert_eq!(blk.forward().load(), 0, "forward word must start null");
+        map.graph.discard_unpublished(node, &c);
+    }
+
+    /// Miri regression: the split's survivor copy reads only published
+    /// slots of the frozen block and writes fresh allocations.
+    #[test]
+    fn split_copy_preserves_entries() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), MIN_BLOCK_CAP);
+        let c = ctx();
+        for k in [5u64, 3, 9, 1, 7] {
+            assert!(map.insert(k, k * 11, &c));
+        }
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(map.get(&k, &c), Some(k * 11));
+        }
+        assert!(map.stats(&c).anchors >= 2, "cap-2 blocks must have split");
+        map.check_invariants(&c).unwrap();
+    }
+
+    /// Miri regression + hint safety: a replaced block's generation moves
+    /// (directly, or through retirement) so stale block hints cannot
+    /// validate against the dead anchor.
+    #[test]
+    fn generation_moves_when_block_is_replaced() {
+        for reclaim in [false, true] {
+            let map = BlockedSkipMap::<u64, u64>::new(cfg(1).reclaim(reclaim), MIN_BLOCK_CAP);
+            let c = ctx();
+            assert!(map.insert(1, 1, &c));
+            assert!(map.insert(2, 2, &c));
+            let stale = {
+                let _pin = map.graph.pin(&c);
+                NodeRef::new(map.covering_anchor(&1, &c).unwrap())
+            };
+            {
+                let _pin = map.graph.pin(&c);
+                assert!(stale.node().is_some(), "live anchor must validate");
+            }
+            // Filling the block freezes and replaces it.
+            assert!(map.insert(3, 3, &c));
+            let _pin = map.graph.pin(&c);
+            let dead = stale.node().is_none()
+                || stale.node().is_some_and(|n| n.load_next_raw(0).marked());
+            assert!(dead, "stale hint validated against a replaced block (reclaim={reclaim})");
+            drop(_pin);
+            for k in 1..=3 {
+                assert_eq!(map.get(&k, &c), Some(k));
+            }
+            if reclaim {
+                map.graph.reclaim_flush(&c);
+            }
+            map.check_invariants(&c).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_report_blocking_gains() {
+        const N: u64 = if cfg!(miri) { 24 } else { 160 };
+        let fat = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let c = ctx();
+        for k in 0..N {
+            fat.insert(k, k, &c);
+        }
+        let s = fat.stats(&c);
+        assert_eq!(s.entries, N as usize);
+        assert!(s.bytes_per_key > 0.0);
+        assert!(
+            s.anchors < N as usize / 2,
+            "cap-8 blocking should use far fewer anchors than keys ({})",
+            s.anchors
+        );
+    }
+}

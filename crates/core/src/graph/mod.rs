@@ -15,6 +15,7 @@
 //! the graph is operated without the thread-local layer.
 
 mod arenas;
+mod block;
 mod iter;
 mod ops;
 mod range;
@@ -22,6 +23,9 @@ mod stats;
 #[cfg(test)]
 mod tests;
 
+pub use block::{
+    BlockedHandle, BlockedRangeIter, BlockedSkipMap, BlockedStats, MAX_BLOCK_CAP, MIN_BLOCK_CAP,
+};
 pub use iter::SnapshotIter;
 pub use ops::HintChain;
 pub use range::{NodeRefHint, RangeIter};
@@ -261,7 +265,11 @@ impl<K: Ord, V> SkipGraph<K, V> {
         // Sentinels go through the same size classes as data nodes (a
         // level-`l` head lands in class `l`, the tail in the top class);
         // chunks are mapped lazily, so unused classes cost nothing.
-        let sentinels = TowerArenas::new(0, 256.min(config.chunk_capacity.max(2)));
+        let sentinels = TowerArenas::new(
+            0,
+            256.min(config.chunk_capacity.max(2)),
+            config.block_bytes,
+        );
         let tail = sentinels.alloc(Node::new_tail()).as_ptr();
         let max = config.max_level;
         let mut heads = vec![std::ptr::null_mut(); head_index(max, 0) + (1 << max)];
@@ -275,7 +283,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
             }
         }
         let arenas = (0..config.num_threads)
-            .map(|t| TowerArenas::new(t as u16, config.chunk_capacity))
+            .map(|t| TowerArenas::new(t as u16, config.chunk_capacity, config.block_bytes))
             .collect();
         let reclaim = EpochReclaim::new(config.reclaim, config.num_threads);
         Self {

@@ -192,6 +192,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
                     }
                     continue;
                 }
+                if res.succs[level] == node_nn.as_ptr() {
+                    // The node is already reachable at this level — a
+                    // concurrent linker (or a previous life of a
+                    // resurrected node) beat us to it. Adopting the search
+                    // result anyway would set the node's reference to
+                    // itself: a self-successor cycle that livelocks every
+                    // traversal of the level. Treat the level as done.
+                    break;
+                }
                 // Point the node's own level reference at the successor.
                 // Unrecorded: initialization of the thread's in-flight node.
                 loop {

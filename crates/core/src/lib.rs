@@ -68,8 +68,9 @@ pub mod local;
 pub use self::batch as combine;
 pub use batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome, BatchedLayeredMap};
 pub use graph::{
-    HintChain, MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter,
-    StructureStats,
+    BlockedHandle, BlockedRangeIter, BlockedSkipMap, BlockedStats, HintChain, MemoryStats,
+    NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter, StructureStats, MAX_BLOCK_CAP,
+    MIN_BLOCK_CAP,
 };
 pub use layered::{CombiningHandle, LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};

@@ -171,3 +171,37 @@ impl<'g, K: Ord, V> MapHandle<K, V> for SkipGraphHandle<'g, K, V> {
         &self.ctx
     }
 }
+
+impl<K, V> ConcurrentMap<K, V> for crate::graph::BlockedSkipMap<K, V>
+where
+    K: Ord + Copy + Send + Sync,
+    V: Copy + Send + Sync,
+{
+    type Handle<'a>
+        = crate::graph::BlockedHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn pin(&self, ctx: ThreadCtx) -> Self::Handle<'_> {
+        self.register(ctx)
+    }
+}
+
+impl<'g, K, V> MapHandle<K, V> for crate::graph::BlockedHandle<'g, K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    fn insert(&mut self, key: K, value: V) -> bool {
+        crate::graph::BlockedHandle::insert(self, key, value)
+    }
+    fn remove(&mut self, key: &K) -> bool {
+        crate::graph::BlockedHandle::remove(self, key)
+    }
+    fn contains(&mut self, key: &K) -> bool {
+        crate::graph::BlockedHandle::contains(self, key)
+    }
+    fn ctx(&self) -> &ThreadCtx {
+        crate::graph::BlockedHandle::ctx(self)
+    }
+}

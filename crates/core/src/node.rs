@@ -434,6 +434,29 @@ impl<K, V> Node<K, V> {
         self.gen.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Base of the trailing *block region*: the extra per-slot bytes the
+    /// arena reserves after the tower (see `GraphConfig::block_bytes`),
+    /// used by the blocked map for its fat level-0 entry array. Derived
+    /// from the raw slot pointer — never from `&self` — so the returned
+    /// pointer carries provenance over the whole slot, and reads the
+    /// packed metadata through an atomic projection instead of forming a
+    /// `&Node` (the header's non-atomic fields may be racing a
+    /// [`Node::reinit_recycled`] on another thread).
+    ///
+    /// # Safety
+    ///
+    /// `node` must be a live arena slot allocated with at least
+    /// `tower_bytes(top_level)` + the requested block bytes of trailing
+    /// storage.
+    #[inline]
+    pub(crate) unsafe fn block_base(node: NonNull<Self>) -> *mut u8 {
+        let meta = (*std::ptr::addr_of!((*node.as_ptr()).meta)).load(Ordering::Relaxed);
+        let top = (meta & META_TOP_MASK) as usize;
+        node.as_ptr()
+            .cast::<u8>()
+            .add(std::mem::size_of::<Self>() + Self::tower_bytes(top))
+    }
+
     /// Records that this node was physically snipped out of `level`'s
     /// list. Returns `true` for exactly one caller across the node's
     /// lifetime: the one whose bit completed the mask over levels
@@ -479,13 +502,16 @@ impl<K, V> Node<K, V> {
     /// # Safety
     ///
     /// `slot` must be a free-listed slot popped by its owning thread, with
-    /// `Node::tower_bytes(header.top_level())` trailing bytes, and no
+    /// `trailing_bytes` bytes of tower + block storage directly after the
+    /// header (at least `Node::tower_bytes(header.top_level())`), and no
     /// other thread dereferencing it (its grace period passed; the
-    /// free-list pop won the slot).
-    pub(crate) unsafe fn reinit_recycled(slot: NonNull<Self>, header: Self) {
+    /// free-list pop won the slot). The whole trailing region is re-zeroed
+    /// so a recycled slot's block starts empty, exactly like a fresh one.
+    pub(crate) unsafe fn reinit_recycled(slot: NonNull<Self>, header: Self, trailing_bytes: usize) {
         let header = ManuallyDrop::new(header);
         let p = slot.as_ptr();
         let top = header.top_level() as usize;
+        debug_assert!(trailing_bytes >= Self::tower_bytes(top));
         debug_assert_eq!(
             ((*std::ptr::addr_of!((*p).meta)).load(Ordering::Relaxed) & META_KIND_MASK)
                 >> META_KIND_SHIFT,
@@ -500,11 +526,11 @@ impl<K, V> Node<K, V> {
         (*std::ptr::addr_of!((*p).unlinked)).store(0, Ordering::Relaxed);
         // The free-list pop left its link word in `next0`; reset it.
         (*std::ptr::addr_of!((*p).next0)).store(TagPtr::null());
-        if Self::tower_bytes(top) > 0 {
+        if trailing_bytes > 0 {
             std::ptr::write_bytes(
                 p.cast::<u8>().add(std::mem::size_of::<Self>()),
                 0,
-                Self::tower_bytes(top),
+                trailing_bytes,
             );
         }
         // Publish the new identity last.
@@ -733,7 +759,13 @@ mod tests {
         assert_eq!(unsafe { node.as_ref() }.kind(), NodeKind::Free);
         // Simulate the free-list link parking a pointer in next0.
         unsafe { node.as_ref() }.store_next(0, TagPtr::clean(node.as_ptr()));
-        unsafe { Node::reinit_recycled(node, Node::new_data(9u64, 90u64, 0b01, 2, 2, 8)) };
+        unsafe {
+            Node::reinit_recycled(
+                node,
+                Node::new_data(9u64, 90u64, 0b01, 2, 2, 8),
+                Node::<u64, u64>::tower_bytes(2),
+            )
+        };
         let n = unsafe { node.as_ref() };
         assert!(n.is_data());
         assert_eq!(unsafe { *n.key() }, 9);

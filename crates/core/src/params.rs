@@ -44,6 +44,12 @@ pub struct GraphConfig {
     /// per-size-class free lists in the owning thread's arena bank. Off by
     /// default (the paper's fixed-length-run memory model).
     pub reclaim: bool,
+    /// Extra bytes reserved after every node's tower for a fat level-0
+    /// block (B-skiplist blocking; see `skipgraph::BlockedSkipMap`). Zero
+    /// for plain single-key nodes. The byte size is computed by the block
+    /// layer from its capacity and entry stride, keeping `GraphConfig`
+    /// independent of the key/value types.
+    pub block_bytes: usize,
 }
 
 impl GraphConfig {
@@ -68,6 +74,7 @@ impl GraphConfig {
             membership: MembershipStrategy::NumaAware,
             chunk_capacity: numa::arena::DEFAULT_CHUNK_CAPACITY,
             reclaim: false,
+            block_bytes: 0,
         }
     }
 
@@ -125,6 +132,15 @@ impl GraphConfig {
         self
     }
 
+    /// Reserves `bytes` of trailing block storage on every allocated node
+    /// (multiple of 8 so the region stays pointer-aligned). Used by the
+    /// blocked map; plain maps leave this at zero.
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes % 8 == 0, "block bytes must preserve 8-byte alignment");
+        self.block_bytes = bytes;
+        self
+    }
+
     /// The `layered_map_ll` ablation: the shared structure is a plain
     /// linked list (maximum level always 0).
     pub fn linked_list(threads: usize) -> Self {
@@ -161,12 +177,14 @@ mod tests {
             .max_level(3)
             .commission_cycles(10)
             .chunk_capacity(128)
-            .reclaim(true);
+            .reclaim(true)
+            .block_bytes(144);
         assert!(c.lazy && c.sparse);
         assert_eq!(c.max_level, 3);
         assert_eq!(c.commission_cycles, 10);
         assert_eq!(c.chunk_capacity, 128);
         assert!(c.reclaim);
+        assert_eq!(c.block_bytes, 144);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! The differential/property test wall around the blocked map's
+//! split/merge machinery.
+//!
+//! Three rings: (1) single-threaded differential checks against
+//! `BTreeMap` over arbitrary op sequences (colliding keys included) at
+//! the capacities that force constant splitting and merging; (2)
+//! real-thread runs over disjoint key classes (`k % threads == t`) whose
+//! final state is exactly predictable; (3) the same runs under the
+//! deterministic scheduler's round-robin and PCT policies, where every
+//! interleaving is replayable. The structural invariants (anchor order,
+//! coverage, no frozen residue) are re-checked after every run.
+#![cfg(not(feature = "bug-injection"))]
+
+use instrument::ThreadCtx;
+use proptest::prelude::*;
+use skipgraph::{BlockedSkipMap, GraphConfig};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+fn bound_from(tag: u8, k: u64) -> Bound<u64> {
+    match tag % 3 {
+        0 => Bound::Unbounded,
+        1 => Bound::Included(k),
+        _ => Bound::Excluded(k),
+    }
+}
+
+fn as_ref_bound(b: &Bound<u64>) -> Bound<&u64> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(k) => Bound::Included(k),
+        Bound::Excluded(k) => Bound::Excluded(k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential: any op sequence on a blocked map behaves exactly
+    /// like a `BTreeMap`, for the split-happy capacities and both tower
+    /// regimes.
+    #[test]
+    fn behaves_like_btreemap(
+        ops in proptest::collection::vec((0u8..4, 0u64..48, 0u64..1000), 1..350),
+        cap_sel: bool,
+        sparse: bool,
+    ) {
+        let cap = if cap_sel { 2 } else { 4 };
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+            GraphConfig::new(2).sparse(sparse).chunk_capacity(256),
+            cap,
+        );
+        let ctx = ThreadCtx::plain(0);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => prop_assert_eq!(
+                    map.insert(k, v, &ctx),
+                    !model.contains_key(&k),
+                    "insert {}", k
+                ),
+                1 => prop_assert_eq!(map.remove(&k, &ctx), model.remove(&k).is_some(), "remove {}", k),
+                2 => prop_assert_eq!(map.get(&k, &ctx), model.get(&k).copied(), "get {}", k),
+                _ => prop_assert_eq!(map.contains(&k, &ctx), model.contains_key(&k), "contains {}", k),
+            }
+            if op == 0 && !model.contains_key(&k) {
+                model.insert(k, v);
+            }
+        }
+        let got: Vec<(u64, u64)> = map.iter(&ctx).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        map.check_invariants(&ctx).map_err(TestCaseError::fail)?;
+    }
+
+    /// Differential range scans: arbitrary bounds against the model,
+    /// after a mixed load that leaves tombstones in most blocks.
+    #[test]
+    fn ranges_match_btreemap(
+        keys in proptest::collection::vec(0u64..64, 1..120),
+        removes in proptest::collection::vec(0u64..64, 0..60),
+        start in (0u8..3, 0u64..64),
+        end in (0u8..3, 0u64..64),
+    ) {
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+            GraphConfig::new(2).chunk_capacity(256),
+            4,
+        );
+        let ctx = ThreadCtx::plain(0);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for k in keys {
+            map.insert(k, k * 3, &ctx);
+            model.entry(k).or_insert(k * 3);
+        }
+        for k in removes {
+            map.remove(&k, &ctx);
+            model.remove(&k);
+        }
+        let (sb, eb) = (bound_from(start.0, start.1), bound_from(end.0, end.1));
+        // An inverted range is a caller error for BTreeMap::range; give
+        // the model the same guard the map's iterator applies naturally.
+        let inverted = match (&sb, &eb) {
+            (Bound::Included(s) | Bound::Excluded(s), Bound::Included(e) | Bound::Excluded(e)) => s > e,
+            _ => false,
+        };
+        if !inverted {
+            let got = map.range_to_vec(as_ref_bound(&sb), eb, &ctx);
+            let want: Vec<(u64, u64)> = model.range((sb, eb)).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want, "range {:?}..{:?}", sb, eb);
+        }
+        map.check_invariants(&ctx).map_err(TestCaseError::fail)?;
+    }
+}
+
+/// Seeded per-thread op plan over this thread's key class (`k % threads
+/// == t`): a pure function of `(seed, t)`, so real-thread and
+/// deterministic runs execute identical plans.
+fn class_plan(seed: u64, t: u64, threads: u64, ops: usize, key_space: u64) -> Vec<(u8, u64)> {
+    let mut x = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    (0..ops)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x / 8 % (key_space / threads)) * threads + t;
+            ((x % 8) as u8, k)
+        })
+        .collect()
+}
+
+/// Applies one plan through a hint-caching handle, mirroring it on a
+/// model; returns the model (exact, because key classes are disjoint).
+fn run_plan(
+    map: &BlockedSkipMap<u64, u64>,
+    t: u16,
+    plan: &[(u8, u64)],
+) -> BTreeMap<u64, u64> {
+    let mut h = map.register(ThreadCtx::plain(t));
+    let mut model = BTreeMap::new();
+    for &(op, k) in plan {
+        match op {
+            0..=3 => {
+                let expect = !model.contains_key(&k);
+                assert_eq!(h.insert(k, k + 1), expect, "t{t} insert {k}");
+                if expect {
+                    model.insert(k, k + 1);
+                }
+            }
+            4..=5 => {
+                let expect = model.remove(&k).is_some();
+                assert_eq!(h.remove(&k), expect, "t{t} remove {k}");
+            }
+            _ => {
+                assert_eq!(h.get(&k), model.get(&k).copied(), "t{t} get {k}");
+            }
+        }
+    }
+    model
+}
+
+fn check_final_state(map: &BlockedSkipMap<u64, u64>, models: Vec<BTreeMap<u64, u64>>) {
+    let ctx = ThreadCtx::plain(0);
+    let mut want: BTreeMap<u64, u64> = BTreeMap::new();
+    for m in models {
+        want.extend(m);
+    }
+    for (&k, &v) in &want {
+        assert_eq!(map.get(&k, &ctx), Some(v), "final get {k}");
+    }
+    let got: Vec<(u64, u64)> = map.iter(&ctx).collect();
+    let want_vec: Vec<(u64, u64)> = want.into_iter().collect();
+    assert_eq!(got, want_vec, "final scan mismatch");
+    map.check_invariants(&ctx).unwrap();
+}
+
+/// Real threads, disjoint key classes: every per-thread op outcome and
+/// the final state are exactly predictable even though splits and merges
+/// interleave freely.
+#[test]
+fn real_threads_disjoint_classes_are_exact() {
+    const THREADS: u64 = 3;
+    for (cap, seed) in [(2usize, 11u64), (4, 22), (8, 33)] {
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+            GraphConfig::new(THREADS as usize).chunk_capacity(1 << 10),
+            cap,
+        );
+        let models = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let map = &map;
+                    s.spawn(move || {
+                        let plan = class_plan(seed, t, THREADS, 400, 60);
+                        run_plan(map, t as u16, &plan)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        check_final_state(&map, models);
+    }
+}
+
+/// A real-thread writer splits blocks while a reader iterates across
+/// them: scans must stay strictly ascending and never lose a key that
+/// was present before the scan began (satellite of the weak-snapshot
+/// contract).
+#[test]
+fn iteration_crosses_blocks_under_concurrent_splits() {
+    let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+        GraphConfig::new(2).chunk_capacity(1 << 10),
+        4,
+    );
+    let setup = ThreadCtx::plain(0);
+    let stable: Vec<u64> = (0..120).map(|i| i * 10).collect();
+    for &k in &stable {
+        map.insert(k, k, &setup);
+    }
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let ctx = ThreadCtx::plain(1);
+            // Odd keys only: the stable (even) keys are never touched, so
+            // every scan must observe all of them.
+            for round in 0..6u64 {
+                for i in 0..120 {
+                    map.insert(i * 10 + 1 + round, i, &ctx);
+                }
+                for i in 0..120 {
+                    map.remove(&(i * 10 + 1 + round), &ctx);
+                }
+            }
+        });
+        let ctx = ThreadCtx::plain(0);
+        for _ in 0..8 {
+            let seen: Vec<u64> = map.iter(&ctx).map(|(k, _)| k).collect();
+            let mut ascending = seen.clone();
+            ascending.sort_unstable();
+            ascending.dedup();
+            assert_eq!(seen, ascending, "scan not strictly ascending");
+            for &k in &stable {
+                assert!(seen.binary_search(&k).is_ok(), "stable key {k} lost mid-scan");
+            }
+        }
+        writer.join().unwrap();
+    });
+    map.check_invariants(&ThreadCtx::plain(0)).unwrap();
+}
+
+/// Split-storm liveness regression: a hot shared key space at the
+/// smallest capacity makes every block freeze, split, and re-split while
+/// replacements for the *same* anchor keys race their upper-level
+/// linking. This is the workload that exposed the self-successor
+/// livelock (a replacement's duplicate `link_upper` adopting itself as
+/// its own level-1 successor, spinning every traversal) — a regression
+/// hangs this test rather than failing an assert.
+#[test]
+fn split_storm_on_shared_keys_stays_live() {
+    const KEY_SPACE: u64 = 512;
+    for seed in [3u64, 71, 123] {
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+            GraphConfig::new(6).chunk_capacity(1 << 12),
+            2,
+        );
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let map = &map;
+                s.spawn(move || {
+                    let mut h = map.register(ThreadCtx::plain(t as u16));
+                    let mut x = seed ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                    for _ in 0..30_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x / 8 % KEY_SPACE;
+                        // Write-heavy: blocks churn through fill,
+                        // freeze, split, and merge continuously.
+                        match x % 8 {
+                            0..=4 => {
+                                h.insert(k, k);
+                            }
+                            5 | 6 => {
+                                h.remove(&k);
+                            }
+                            _ => {
+                                h.get(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let ctx = ThreadCtx::plain(0);
+        for (k, v) in map.iter(&ctx) {
+            assert!(k < KEY_SPACE && v == k, "stray entry {k} -> {v}");
+        }
+        map.check_invariants(&ctx).unwrap();
+    }
+}
+
+/// The same disjoint-class exactness under the deterministic scheduler:
+/// every facade access is sequenced by the policy, so failures here come
+/// with a replayable schedule.
+#[cfg(feature = "deterministic")]
+mod deterministic {
+    use super::*;
+    use skipgraph::det::{self, DetConfig, Policy};
+    use std::sync::Mutex;
+
+    fn det_round(cap: usize, seed: u64, det: DetConfig) {
+        const THREADS: u64 = 3;
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(
+            GraphConfig::new(THREADS as usize).chunk_capacity(512),
+            cap,
+        );
+        let models = Mutex::new(Vec::new());
+        let workers: Vec<Box<dyn FnOnce() + Send>> = (0..THREADS)
+            .map(|t| {
+                let map = &map;
+                let models = &models;
+                Box::new(move || {
+                    let plan = class_plan(seed, t, THREADS, 60, 24);
+                    let model = run_plan(map, t as u16, &plan);
+                    models.lock().unwrap().push(model);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        det::run_threads(&det, workers);
+        check_final_state(&map, models.into_inner().unwrap());
+    }
+
+    #[test]
+    fn round_robin_schedules_are_exact() {
+        for (cap, seed, quantum) in [(2usize, 1u64, 1u32), (2, 2, 3), (4, 3, 2), (4, 4, 7)] {
+            det_round(cap, seed, DetConfig::new(seed, Policy::RoundRobin { quantum }));
+        }
+    }
+
+    #[test]
+    fn pct_schedules_are_exact() {
+        for (cap, seed) in [(2usize, 5u64), (2, 6), (4, 7), (4, 8)] {
+            det_round(
+                cap,
+                seed,
+                DetConfig::new(
+                    seed,
+                    Policy::Pct {
+                        change_points: 10,
+                        expected_steps: 30_000,
+                    },
+                ),
+            );
+        }
+    }
+}

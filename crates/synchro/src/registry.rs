@@ -10,6 +10,7 @@
 //! | `layered_map_sl` | local maps over a single skip list (no partitioning) |
 //! | `batched_layered_sg` | lazy layered map behind the NUMA-local flat-combining executor |
 //! | `skipgraph` | the skip graph without layering |
+//! | `blocked_sg` | fat level-0 blocks (B-skiplist blocking) over the lazy skip graph |
 //! | `skiplist` | lock-free skip list with the relink optimization |
 //! | `skiplist_norelink` | the same without relink (ablation) |
 //! | `locked_skiplist` | optimistic lazy lock-based skip list |
@@ -25,7 +26,7 @@ use baselines::{
     NumaskSkipList, RotatingSkipList, SkipListConfig,
 };
 use numa::{Placement, Topology};
-use skipgraph::{BatchConfig, BatchedLayeredMap, GraphConfig, LayeredMap, SkipGraph};
+use skipgraph::{BatchConfig, BatchedLayeredMap, BlockedSkipMap, GraphConfig, LayeredMap, SkipGraph};
 use std::time::Duration;
 
 /// All registry names, in the order the paper's figures list them.
@@ -38,6 +39,7 @@ pub const STRUCTURES: &[&str] = &[
     "layered_map_sl",
     "batched_layered_sg",
     "skipgraph",
+    "blocked_sg",
     "skiplist",
     "skiplist_norelink",
     "locked_skiplist",
@@ -129,6 +131,13 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
         }
         "skipgraph" => run_trial(
             &SkipGraph::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap)),
+            workload,
+            instr,
+        ),
+        // Fat level-0 blocks: several keys per anchor node, split/merge
+        // under the marked-pointer protocol (see `skipgraph::BlockedSkipMap`).
+        "blocked_sg" => run_trial(
+            &BlockedSkipMap::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap), 8),
             workload,
             instr,
         ),

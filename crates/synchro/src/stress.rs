@@ -45,6 +45,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "layered_map_sl",
     "batched_layered_sg",
     "skipgraph",
+    "blocked_sg",
     "skiplist",
     "skiplist_norelink",
     "harris_ll",
@@ -427,6 +428,15 @@ macro_rules! with_structure {
             }
             "skipgraph" => {
                 let $map = SkipGraph::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap));
+                $body
+            }
+            "blocked_sg" => {
+                // A small blocking factor so stress schedules actually
+                // reach the split/merge paths, not just in-block CASes.
+                let $map = skipgraph::BlockedSkipMap::<u64, u64>::new(
+                    GraphConfig::new(t).chunk_capacity(cap),
+                    4,
+                );
                 $body
             }
             "skiplist" => {

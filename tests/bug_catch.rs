@@ -82,3 +82,64 @@ fn non_lazy_structures_are_unaffected_by_the_injection() {
         stress_named_det(name, &cfg, &det).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
+
+#[test]
+fn injected_blocked_lost_insert_is_caught_and_shrunk() {
+    // The blocked map's injected fault: an insert that observes its block
+    // frozen at publish time reports success without ever setting the
+    // present bit, so the key silently misses the survivor migration —
+    // the lost-insert window a skipped post-split recheck would open.
+    // The fault needs a freeze to land between a claim and its publish:
+    // a tiny key space keeps one cap-4 block churning through splits and
+    // merges, and a short round-robin quantum parks threads inside that
+    // window on every probed seed.
+    let cfg = StressConfig {
+        threads: 2,
+        key_space: 4,
+        ops_per_thread: 40,
+        update_pct: 80,
+        preload: true,
+        seed: 7,
+    };
+    let mut caught = None;
+    for det_seed in [1u64, 2, 3] {
+        let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum: 2 });
+        if let Err(report) = stress_named_det("blocked_sg", &cfg, &det) {
+            caught = Some(report);
+            break;
+        }
+    }
+    let report = caught.expect("blocked lost-insert injection went undetected on every schedule");
+
+    let (shrunk_det, _trace) = report.schedule.clone().expect("det report without schedule");
+    assert!(matches!(shrunk_det.policy, Policy::Replay { .. }));
+    assert!(!report.failure.history.is_empty());
+    // A lying insert is the only injected fault, so the violating history
+    // must contain one that claimed success.
+    assert!(
+        report
+            .failure
+            .history
+            .iter()
+            .any(|r| r.op == Op::Insert && r.result),
+        "shrunk history has no successful insert: {report}"
+    );
+
+    let total: usize = report.plans.iter().map(Vec::len).sum();
+    let original = cfg.threads as usize * cfg.ops_per_thread;
+    assert!(
+        total <= original / 2,
+        "shrinker left {total} of {original} ops: {report}"
+    );
+
+    let (records, _) =
+        records_named_det("blocked_sg", &report.config, &report.plans, &shrunk_det);
+    assert!(
+        synchro::stress::check_records(&records, &report.config).is_err(),
+        "shrunk report does not reproduce the violation:\n{report}"
+    );
+
+    let text = format!("{report}");
+    assert!(text.contains("blocked_sg"));
+    assert!(text.contains("replay:"));
+}

@@ -379,10 +379,12 @@ macro_rules! proptest {
         $crate::proptest!(@parse [$cfg] [$($meta)*] $name
             [$(($n, $s))* ($an, $crate::any::<$at>())] [$($rest)*] $body);
     };
-    // @emit: generate the #[test] fn.
+    // @emit: generate the test fn. Attributes (including `#[test]`) come
+    // from the call site via `$meta`; emitting `#[test]` here as well would
+    // register every suite twice, since idiomatic call sites already write
+    // the attribute themselves.
     (@emit [$cfg:expr] [$($meta:tt)*] $name:ident [$(($n:ident, $s:expr))*] $body:block) => {
         $($meta)*
-        #[test]
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
             let (mut rng, seed) =
@@ -417,6 +419,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// Mixed arg forms parse and generate in-range values.
+        #[test]
         #[allow(unused_comparisons)]
         fn mixed_args(
             flag: bool,
@@ -436,6 +439,7 @@ mod tests {
     }
 
     proptest! {
+        #[test]
         fn no_config_header(a in 0u32..100) {
             prop_assert!(a < 100);
         }
