@@ -137,5 +137,54 @@ fn bench_range_and_pqueue(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_layered, bench_robinhood, bench_range_and_pqueue);
+/// In-block point reads on the fat-level-0 blocked map: the hit path
+/// runs the branch-free binary search over the block's sorted prefix
+/// (`graph/block.rs::get_pinned`), so this group tracks regressions in
+/// that search (see the microbench note in EXPERIMENTS.md). Ascending
+/// preload keeps every block's sorted prefix full — the search covers
+/// the whole block, not the unsorted tail scan.
+fn bench_block_search(c: &mut Criterion) {
+    use skipgraph::BlockedSkipMap;
+
+    let mut group = c.benchmark_group("block_search");
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(150))
+        .sample_size(20);
+    for cap in [8usize, 16] {
+        let map: BlockedSkipMap<u64, u64> =
+            BlockedSkipMap::new(GraphConfig::new(2).chunk_capacity(1 << 14), cap);
+        {
+            let mut h = map.register(ThreadCtx::plain(0));
+            for k in 0..PRELOAD {
+                h.insert(k * 2, k);
+            }
+        }
+        group.bench_function(format!("cap{cap}/get_hit"), |b| {
+            let mut h = map.register(ThreadCtx::plain(0));
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 2) % (PRELOAD * 2);
+                std::hint::black_box(h.get(&k))
+            });
+        });
+        group.bench_function(format!("cap{cap}/get_miss"), |b| {
+            let mut h = map.register(ThreadCtx::plain(0));
+            let mut k = 1u64;
+            b.iter(|| {
+                k = ((k + 2) % (PRELOAD * 2)) | 1;
+                std::hint::black_box(h.get(&k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_layered,
+    bench_robinhood,
+    bench_range_and_pqueue,
+    bench_block_search
+);
 criterion_main!(benches);

@@ -238,7 +238,10 @@ where
     ///
     /// Panics if `cap` is outside [`MIN_BLOCK_CAP`]`..=`[`MAX_BLOCK_CAP`]
     /// or the entry type is over-aligned (block slots are 8-aligned).
-    pub fn new(config: GraphConfig, cap: usize) -> Self {
+    pub fn new(config: GraphConfig, cap: usize) -> Self
+    where
+        K: std::hash::Hash,
+    {
         assert!(
             (MIN_BLOCK_CAP..=MAX_BLOCK_CAP).contains(&cap),
             "block capacity must be in {MIN_BLOCK_CAP}..={MAX_BLOCK_CAP}"
@@ -252,7 +255,7 @@ where
             .lazy(true)
             .block_bytes(block_layout_bytes::<K, V>(cap));
         Self {
-            graph: SkipGraph::new(config),
+            graph: SkipGraph::new_hashed(config),
             cap,
             anchor_seq: FacadeAtomicUsize::new(1),
             _values: PhantomData,
@@ -391,6 +394,8 @@ where
                 .is_ok()
             {
                 pending = None;
+                // Publish-after-link: the seed entry lives in slot 0.
+                self.index_publish_slot(&key, node, 0);
                 self.graph.link_upper(node, &mut res, ctx, || None);
                 break true;
             }
@@ -495,7 +500,10 @@ where
                 // block still covers `key` (coverage invariant), so this
                 // CAS linearizes the insert.
                 match blk.control().compare_exchange(w, w | present_bit(slot)) {
-                    Ok(_) => return (true, Some(anchor)),
+                    Ok(_) => {
+                        self.index_publish_slot(&key, anchor, slot);
+                        return (true, Some(anchor));
+                    }
                     Err(cur) => w = cur,
                 }
             }
@@ -533,6 +541,9 @@ where
                 // are write-once; the key stays readable forever).
                 match blk.control().compare_exchange(w, w & !present_bit(i)) {
                     Ok(_) => {
+                        // The tombstone is published; drop the index entry
+                        // so readers stop resolving to this slot.
+                        self.index_invalidate_slot(key, anchor);
                         let now = w & !present_bit(i);
                         if present_bits(now) == 0 {
                             // Emptied the block: opportunistically freeze
@@ -568,6 +579,11 @@ where
         mut start: Option<NonNull<BNode<K>>>,
         ctx: &ThreadCtx,
     ) -> (Option<V>, Option<NonNull<BNode<K>>>) {
+        // Skip Hash fast path: a validated index hit answers in O(1) and
+        // still primes the caller's block hint with the resolved anchor.
+        if let Some((v, anchor)) = self.index_probe(key, ctx) {
+            return (Some(v), Some(anchor));
+        }
         loop {
             let anchor = match start.take().or_else(|| self.covering_anchor(key, ctx)) {
                 Some(a) => a,
@@ -582,24 +598,29 @@ where
                 self.help_split(anchor, ctx);
                 continue;
             }
-            // Fast path: binary search the sorted prefix laid down when
-            // the block was built.
+            // Fast path: branch-free binary search over the sorted prefix
+            // laid down when the block was built. The halving loop has no
+            // data-dependent branch — the select compiles to a cmov, so
+            // the branch predictor never trains on key order; one equality
+            // check at the end decides the outcome.
             let n = prefix_len(w);
-            let (mut lo, mut hi) = (0usize, n);
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                match unsafe { blk.key_at(mid) }.cmp(key) {
-                    CmpOrdering::Less => lo = mid + 1,
-                    CmpOrdering::Greater => hi = mid,
-                    CmpOrdering::Equal => {
-                        if w & present_bit(mid) != 0 {
-                            return (Some(unsafe { blk.read(mid) }.1), Some(anchor));
-                        }
-                        // Tombstoned in the prefix; the key may have been
-                        // re-inserted into the unsorted tail.
-                        break;
-                    }
+            if n > 0 {
+                let (mut base, mut size) = (0usize, n);
+                while size > 1 {
+                    let half = size / 2;
+                    let probe = base + half;
+                    base = if unsafe { blk.key_at(probe) } <= *key {
+                        probe
+                    } else {
+                        base
+                    };
+                    size -= half;
                 }
+                if unsafe { blk.key_at(base) } == *key && w & present_bit(base) != 0 {
+                    return (Some(unsafe { blk.read(base) }.1), Some(anchor));
+                }
+                // Absent from the prefix, or tombstoned there; a
+                // re-insert may still sit in the unsorted tail.
             }
             // Slow path: linear scan of the append region.
             for i in n..self.cap {
@@ -615,6 +636,64 @@ where
     fn scan_present(&self, blk: &Blk<K, V>, w: usize, key: &K) -> Option<usize> {
         (0..self.cap)
             .find(|&i| w & present_bit(i) != 0 && unsafe { blk.key_at(i) } == *key)
+    }
+
+    /// Publishes `key -> (anchor, slot)` in the shared hash index (if one
+    /// is installed) under the anchor's current generation. Best-effort;
+    /// caller must hold a pin.
+    fn index_publish_slot(&self, key: &K, anchor: NonNull<BNode<K>>, slot: usize) {
+        if let Some(idx) = self.graph.index() {
+            let gen = unsafe { Node::generation_of(anchor) };
+            idx.publish(key, anchor, gen, slot);
+        }
+    }
+
+    /// Drops `key`'s index entry if it still names `anchor` (a newer
+    /// incarnation's entry is left alone).
+    fn index_invalidate_slot(&self, key: &K, anchor: NonNull<BNode<K>>) {
+        if let Some(idx) = self.graph.index() {
+            idx.invalidate(key, Some(anchor));
+        }
+    }
+
+    /// Skip Hash fast path for the blocked map: resolve `key` through the
+    /// shared index to an `(anchor, slot)` pair and validate it in place —
+    /// generation re-check first (only then may the anchor be
+    /// dereferenced; the caller's pin keeps the gen-valid slot mapped),
+    /// then the control word: a frozen block is mid-migration and a
+    /// cleared present bit or foreign key means the entry is stale or a
+    /// signature collision. Anything but a validated hit returns `None`
+    /// and the caller pays the descent — the index is never authoritative
+    /// for absence here, because a removed key may have been re-inserted
+    /// into a different slot or block.
+    fn index_probe(&self, key: &K, ctx: &ThreadCtx) -> Option<(V, NonNull<BNode<K>>)> {
+        let idx = self.graph.index()?;
+        let Some(entry) = idx.lookup_raw(key) else {
+            ctx.record_index_miss();
+            return None;
+        };
+        let anchor = entry.ptr;
+        if unsafe { Node::generation_of(anchor) } != entry.gen {
+            ctx.record_index_stale();
+            idx.invalidate(key, Some(anchor));
+            return None;
+        }
+        let blk = unsafe { self.blk(anchor) };
+        let w = blk.control().load();
+        if is_frozen(w) {
+            // Mid-split: the replacement may already hold newer entries,
+            // so a frozen snapshot is not linearizable for point reads.
+            ctx.record_index_stale();
+            return None;
+        }
+        let slot = entry.aux;
+        if slot < self.cap && w & present_bit(slot) != 0 && unsafe { blk.key_at(slot) } == *key {
+            ctx.record_index_hit();
+            ctx.record_search(1);
+            return Some((unsafe { blk.read(slot) }.1, anchor));
+        }
+        ctx.record_index_miss();
+        None
     }
 
     /// Builds a replacement block holding `entries` (sorted, nonempty),
@@ -776,10 +855,35 @@ where
             // linking is not our duty, but linking it is harmless) or to
             // the tail sentinel (which has no key and must not be
             // offered to the search).
-            if !w.marked() && w.ptr() != succ0 {
-                let n2 = unsafe { NonNull::new_unchecked(w.ptr()) };
-                if unsafe { n2.as_ref() }.is_data() {
-                    self.link_replacement(n2, ctx);
+            let n2: Option<NonNull<BNode<K>>> = if !w.marked() && w.ptr() != succ0 {
+                let n = unsafe { NonNull::new_unchecked(w.ptr()) };
+                unsafe { n.as_ref() }.is_data().then_some(n)
+            } else {
+                None
+            };
+            if let Some(n2) = n2 {
+                self.link_replacement(n2, ctx);
+            }
+            // Republish the migrated entries under their new (anchor,
+            // slot) homes; the dead anchor's entries went stale with its
+            // generation bump above. The split layout is deterministic
+            // (every helper computes the same survivor set and midpoint),
+            // so slot positions are re-derivable even when the canonical
+            // replacement was built by another helper. Best-effort: if
+            // `n2` was unrecoverable (already excised), its half simply
+            // stays on the descent path until touched again.
+            if self.graph.index().is_some() {
+                let first_len = if survivors.len() > self.cap / 2 {
+                    survivors.len().div_ceil(2)
+                } else {
+                    survivors.len()
+                };
+                for (i, (k, _)) in survivors.iter().enumerate() {
+                    if i < first_len {
+                        self.index_publish_slot(k, n1, i);
+                    } else if let Some(n2) = n2 {
+                        self.index_publish_slot(k, n2, i - first_len);
+                    }
                 }
             }
         }

@@ -31,6 +31,7 @@ pub use ops::HintChain;
 pub use range::{NodeRefHint, RangeIter};
 pub use stats::{MemoryStats, StructureStats};
 
+use crate::index::{HashIndex, IndexRead};
 use crate::mvec::{list_suffix, membership_vectors};
 use crate::node::{Node, MAX_HEIGHT};
 use crate::params::GraphConfig;
@@ -215,6 +216,10 @@ pub struct SkipGraph<K, V> {
     /// The epoch-based reclamation domain (inert unless
     /// `GraphConfig::reclaim`): limbo lists, pins, and the global epoch.
     reclaim: EpochReclaim<K, V>,
+    /// The shared point-read hash index (`GraphConfig::hash_index`),
+    /// installed by the hashed constructors; `None` on plain graphs. See
+    /// [`crate::index`] for the coherence protocol.
+    index: Option<HashIndex<K, V>>,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for SkipGraph<K, V> {}
@@ -293,7 +298,73 @@ impl<K: Ord, V> SkipGraph<K, V> {
             arenas,
             _sentinels: sentinels,
             reclaim,
+            index: None,
         }
+    }
+
+    /// Builds an empty skip graph and, when `config.hash_index` is set,
+    /// installs the shared point-read hash index (`K: Hash` is needed to
+    /// capture the type-erased hasher; plain [`SkipGraph::new`] has no
+    /// such bound and always leaves the index off).
+    pub fn new_hashed(config: GraphConfig) -> Self
+    where
+        K: std::hash::Hash,
+    {
+        let mut graph = Self::new(config);
+        if graph.config.hash_index {
+            graph.index = Some(HashIndex::new(
+                graph.config.num_threads,
+                graph.config.index_capacity,
+            ));
+        }
+        graph
+    }
+
+    /// The shared hash index, if installed.
+    pub(crate) fn index(&self) -> Option<&HashIndex<K, V>> {
+        self.index.as_ref()
+    }
+
+    /// Publish-after-link: installs (or refreshes) `node`'s index entry
+    /// under its *current* generation. Called after the level-0 link CAS
+    /// (or a lazy resurrection) — never before, so a reader that wins the
+    /// entry always finds a reachable incarnation. Best-effort: a full
+    /// probe window simply leaves the key on the descent path.
+    pub(crate) fn index_publish(&self, node: NonNull<Node<K, V>>, aux: usize) {
+        if let Some(idx) = &self.index {
+            let gen = unsafe { Node::generation_of(node) };
+            idx.publish(unsafe { node.as_ref().key() }, node, gen, aux);
+        }
+    }
+
+    /// Invalidate-before-retire: clears any index entry naming `node`
+    /// (matched by pointer, so a newer incarnation's entry survives).
+    pub(crate) fn index_invalidate(&self, node: &Node<K, V>) {
+        if let Some(idx) = &self.index {
+            idx.invalidate(unsafe { node.key() }, Some(NonNull::from(node)));
+        }
+    }
+
+    /// Consults the hash index for `key`, recording hit/miss/stale
+    /// counters. An index hit is a complete one-node "search", so it also
+    /// records a search of length 1 (keeping nodes/search honest in the
+    /// instrument totals). Returns `None` when no index is installed.
+    pub(crate) fn index_read<'g>(
+        &'g self,
+        key: &K,
+        ctx: &ThreadCtx,
+    ) -> Option<IndexRead<'g, K, V>> {
+        let idx = self.index.as_ref()?;
+        let read = idx.read_node(key, self.config.lazy);
+        match &read {
+            IndexRead::Hit(_) | IndexRead::Absent => {
+                ctx.record_index_hit();
+                ctx.record_search(1);
+            }
+            IndexRead::Stale => ctx.record_index_stale(),
+            IndexRead::Miss => ctx.record_index_miss(),
+        }
+        Some(read)
     }
 
     /// Pins the calling thread against reclamation for the guard's
@@ -367,6 +438,11 @@ impl<K: Ord, V> SkipGraph<K, V> {
             let w = node.load_next_raw(level);
             debug_assert!(w.marked(), "unlinked chains are frozen");
             if node.note_unlinked(level) {
+                // Invalidate-before-retire: the index entry must die
+                // before the generation bump inside `retire`, so no
+                // window exists where a reader holds a gen-valid entry
+                // to a slot that is already in limbo.
+                self.index_invalidate(node);
                 // Safety: fully unlinked, reported exactly once (the
                 // completing fetch_or), and we are pinned.
                 unsafe {

@@ -7,6 +7,7 @@
 //! (`finishInsert`, Alg. 10), and the eager (non-lazy) logical deletion.
 
 use super::{NodePtr, NodeRef, SearchResult, SkipGraph};
+use crate::index::IndexRead;
 use crate::node::Node;
 use crate::sync::TagPtr;
 use instrument::ThreadCtx;
@@ -84,6 +85,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 return Some(false); // duplicate
             }
             if node.cas_next(0, w0, w0.with_valid(true), ctx).is_ok() {
+                // Resurrection is a successful insertion: refresh the
+                // index entry so point reads hit this incarnation.
+                self.index_publish(NonNull::from(node), 0);
                 return Some(true); // flipped invalid -> valid
             }
         }
@@ -110,6 +114,10 @@ impl<K: Ord, V> SkipGraph<K, V> {
             return Some(true);
             #[cfg(not(feature = "bug-injection"))]
             if node.cas_next(0, w0, w0.with_valid(false), ctx).is_ok() {
+                // The node stays linked (lazy removal), but the index
+                // entry is now a miss-in-waiting; drop it eagerly so
+                // reads fall back to the authoritative descent.
+                self.index_invalidate(node);
                 return Some(true);
             }
         }
@@ -128,6 +136,14 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 return false;
             }
             if node.cas_next(0, w0, w0.with_mark(), ctx).is_ok() {
+                // Injected coherence bug (harness validation only): the
+                // winner of an eager delete skips its invalidate duty.
+                // Without reclamation the victim's generation never
+                // bumps, so the stale entry keeps answering point reads
+                // with the removed key until the stress wall catches the
+                // contradiction. See the `bug-injection` feature docs.
+                #[cfg(not(feature = "bug-injection"))]
+                self.index_invalidate(node);
                 return true;
             }
         }
@@ -155,6 +171,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
             .cas_next(0, m0, m0.with_ptr(node.as_ptr()), ctx)
             .is_ok();
         if ok {
+            // Publish-after-link: the node is reachable from level 0, so
+            // the index may now name it.
+            self.index_publish(node, 0);
             // The insert substituted the captured marked chain: those
             // nodes are now unlinked at level 0.
             self.note_unlinked_chain(m0.ptr(), res.succs[0], 0, ctx);
@@ -337,6 +356,13 @@ impl<K: Ord, V> SkipGraph<K, V> {
     /// configuration).
     pub fn contains(&self, key: &K, ctx: &ThreadCtx) -> bool {
         let _pin = self.pin(ctx);
+        // Skip Hash fast path: a generation-valid index entry answers
+        // without a descent; anything questionable falls through.
+        match self.index_read(key, ctx) {
+            Some(IndexRead::Hit(_)) => return true,
+            Some(IndexRead::Absent) => return false,
+            _ => {}
+        }
         let mvec = self.membership_of(ctx.id());
         let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
         if !res.found {
@@ -356,6 +382,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
         V: Clone,
     {
         let _pin = self.pin(ctx);
+        // Skip Hash fast path (see `contains`). The pin keeps the hit
+        // node dereferenceable; `read_node` re-checked its generation
+        // and state after the pin, so the value read is of a live
+        // incarnation.
+        match self.index_read(key, ctx) {
+            Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
+            Some(IndexRead::Absent) => return None,
+            _ => {}
+        }
         let mvec = self.membership_of(ctx.id());
         let res = self.search_from(key, mvec, None, !self.config().lazy, ctx);
         if !res.found {
@@ -502,6 +537,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
         V: Clone,
     {
         let _pin = self.pin(ctx);
+        // Skip Hash fast path: an index answer leaves the chain's
+        // frontier untouched — it still bounds this key from below, so
+        // the run's next (non-descending) operation resumes from it
+        // unchanged. Only an inconclusive read pays the hinted search.
+        match self.index_read(key, ctx) {
+            Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
+            Some(IndexRead::Absent) => return None,
+            _ => {}
+        }
         let mvec = self.membership_of(ctx.id());
         let res =
             self.search_hinted(key, mvec, start, chain.res.as_ref(), !self.config().lazy, ctx);

@@ -142,6 +142,12 @@ impl<K: Ord, V> SkipGraph<K, V> {
             free_bytes += bank.free_bytes();
             recycled_slots += bank.recycled();
         }
+        // The index's segment tables are part of the structure's memory
+        // footprint: count them in both totals (they are eagerly
+        // allocated, hence resident).
+        let index_bytes = self.index().map_or(0, |i| i.bytes());
+        allocated_bytes += index_bytes;
+        resident_bytes += index_bytes;
         MemoryStats {
             live,
             invalid,
@@ -149,6 +155,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
             allocated: height_histogram.iter().sum(),
             allocated_bytes,
             resident_bytes,
+            index_bytes,
+            index_entries: self.index().map_or(0, |i| i.published_entries()),
+            index_retired_entries: self.index().map_or(0, |i| i.retired_entries()),
             height_histogram,
             limbo_nodes: self.reclaim.limbo_nodes(),
             retired_nodes: self.reclaim.retired_total(),
@@ -180,6 +189,17 @@ pub struct MemoryStats {
     pub allocated_bytes: usize,
     /// Bytes of arena chunk storage mapped (first-touch resident bound).
     pub resident_bytes: usize,
+    /// Bytes held by the shared hash index's segment tables, current and
+    /// retired-but-parked (zero when no index is installed). Already
+    /// included in `allocated_bytes` and `resident_bytes`.
+    pub index_bytes: usize,
+    /// Index entries ever published (monotonic; republishing an existing
+    /// key counts again).
+    pub index_entries: usize,
+    /// Index entries retired by explicit invalidation (monotonic;
+    /// tombstoned by removals and retire-path invalidation — stale
+    /// entries dropped by readers count here too).
+    pub index_retired_entries: usize,
     /// Allocated nodes per tower height (`[h]` = nodes with `top_level == h`).
     pub height_histogram: [usize; MAX_HEIGHT],
     /// Retired nodes awaiting their grace period on limbo lists (zero with

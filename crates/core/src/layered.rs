@@ -33,6 +33,7 @@
 
 use crate::batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome};
 use crate::graph::{HintChain, NodePtr, NodeRef, NodeRefHint, RangeIter, SkipGraph};
+use crate::index::IndexRead;
 use crate::local::{BTreeLocalMap, LocalMap, RobinHoodMap};
 use crate::params::GraphConfig;
 use crate::sparse_height;
@@ -53,10 +54,16 @@ pub struct LayeredMap<K, V> {
 }
 
 impl<K: Ord, V> LayeredMap<K, V> {
-    /// Builds the map for a [`GraphConfig`].
-    pub fn new(config: GraphConfig) -> Self {
+    /// Builds the map for a [`GraphConfig`]. Handle registration needs
+    /// `K: Hash` anyway (the speculative local hashtable), so the bound
+    /// here is free — and it lets `GraphConfig::hash_index` install the
+    /// shared point-read index.
+    pub fn new(config: GraphConfig) -> Self
+    where
+        K: Hash,
+    {
         Self {
-            shared: SkipGraph::new(config),
+            shared: SkipGraph::new_hashed(config),
             batch: None,
         }
     }
@@ -65,7 +72,10 @@ impl<K: Ord, V> LayeredMap<K, V> {
     /// (`batch.threads()` must equal `config.num_threads`). Threads opt
     /// into combining per handle via [`LayeredMap::register_combining`];
     /// plain [`LayeredMap::register`] handles keep operating directly.
-    pub fn with_batching(config: GraphConfig, batch: BatchConfig) -> Self {
+    pub fn with_batching(config: GraphConfig, batch: BatchConfig) -> Self
+    where
+        K: Hash,
+    {
         assert_eq!(
             batch.threads(),
             config.num_threads,
@@ -590,6 +600,13 @@ where
             }
             self.erase_local(key);
         }
+        // Skip Hash fast path: on a local-hashtable miss, the shared
+        // index may still answer in O(1) before we pay a descent.
+        match shared.index_read(key, &self.ctx) {
+            Some(IndexRead::Hit(_)) => return true,
+            Some(IndexRead::Absent) => return false,
+            _ => {}
+        }
         // Alg. 7: search from the local start.
         let start = self.get_start(key, 0);
         let res = shared.search_from(key, self.mvec, start, !self.lazy(), &self.ctx);
@@ -624,6 +641,13 @@ where
                 }
             }
             self.erase_local(key);
+        }
+        // Skip Hash fast path (see `contains`); the pin taken above
+        // keeps the hit node dereferenceable.
+        match shared.index_read(key, &self.ctx) {
+            Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
+            Some(IndexRead::Absent) => return None,
+            _ => {}
         }
         let start = self.get_start(key, 0);
         let res = shared.search_from(key, self.mvec, start, !self.lazy(), &self.ctx);

@@ -53,6 +53,7 @@ pub mod batch;
 #[cfg(feature = "deterministic")]
 pub mod det;
 mod graph;
+pub mod index;
 mod layered;
 mod map_api;
 pub mod mvec;

@@ -50,6 +50,18 @@ pub struct GraphConfig {
     /// layer from its capacity and entry stride, keeping `GraphConfig`
     /// independent of the key/value types.
     pub block_bytes: usize,
+    /// Shared lock-free hash index for O(1) point reads (the Skip Hash
+    /// fast path; see `skipgraph::index`). Maintained inline by
+    /// insert/remove/split/merge and consulted first by point
+    /// `get`/`contains`; entries are generation-validated, so reclamation
+    /// stays safe. Off by default. Honored by the layered and blocked
+    /// builders (which know the key hashes); `SkipGraph::new` alone
+    /// leaves it off — use `SkipGraph::new_hashed`.
+    pub hash_index: bool,
+    /// Total entry-capacity hint for the hash index (`0` = auto).
+    /// Segments start at `index_capacity / segments` slots and grow
+    /// lock-free past the hint under load.
+    pub index_capacity: usize,
 }
 
 impl GraphConfig {
@@ -75,6 +87,8 @@ impl GraphConfig {
             chunk_capacity: numa::arena::DEFAULT_CHUNK_CAPACITY,
             reclaim: false,
             block_bytes: 0,
+            hash_index: false,
+            index_capacity: 0,
         }
     }
 
@@ -141,6 +155,22 @@ impl GraphConfig {
         self
     }
 
+    /// Enables the shared lock-free hash index (Skip Hash fast path) so
+    /// point reads skip the skip-graph descent when a generation-valid
+    /// entry exists. See `skipgraph::index` for the coherence protocol.
+    pub fn hash_index(mut self, on: bool) -> Self {
+        self.hash_index = on;
+        self
+    }
+
+    /// Overrides the hash-index capacity hint (`0` = auto). The index
+    /// grows past the hint on demand; a hint near the expected key count
+    /// avoids the early growth steps.
+    pub fn index_capacity(mut self, entries: usize) -> Self {
+        self.index_capacity = entries;
+        self
+    }
+
     /// The `layered_map_ll` ablation: the shared structure is a plain
     /// linked list (maximum level always 0).
     pub fn linked_list(threads: usize) -> Self {
@@ -167,6 +197,7 @@ mod tests {
         assert_eq!(c.commission_cycles, 33_600_000);
         assert_eq!(c.membership, MembershipStrategy::NumaAware);
         assert!(!c.reclaim, "reclamation is opt-in");
+        assert!(!c.hash_index, "the point-read index is opt-in");
     }
 
     #[test]
@@ -178,13 +209,17 @@ mod tests {
             .commission_cycles(10)
             .chunk_capacity(128)
             .reclaim(true)
-            .block_bytes(144);
+            .block_bytes(144)
+            .hash_index(true)
+            .index_capacity(1 << 12);
         assert!(c.lazy && c.sparse);
         assert_eq!(c.max_level, 3);
         assert_eq!(c.commission_cycles, 10);
         assert_eq!(c.chunk_capacity, 128);
         assert!(c.reclaim);
         assert_eq!(c.block_bytes, 144);
+        assert!(c.hash_index);
+        assert_eq!(c.index_capacity, 1 << 12);
     }
 
     #[test]

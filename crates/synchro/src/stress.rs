@@ -46,6 +46,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "batched_layered_sg",
     "skipgraph",
     "blocked_sg",
+    "hashed_sg",
     "skiplist",
     "skiplist_norelink",
     "harris_ll",
@@ -436,6 +437,16 @@ macro_rules! with_structure {
                 let $map = skipgraph::BlockedSkipMap::<u64, u64>::new(
                     GraphConfig::new(t).chunk_capacity(cap),
                     4,
+                );
+                $body
+            }
+            "hashed_sg" => {
+                // Shared point-read hash index on, no reclamation: eager
+                // removes must invalidate their entries themselves (the
+                // generation backstop never fires), which is precisely
+                // the coherence duty the bug-injection lane deletes.
+                let $map = LayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t).hash_index(true).chunk_capacity(cap),
                 );
                 $body
             }

@@ -84,6 +84,66 @@ fn non_lazy_structures_are_unaffected_by_the_injection() {
 }
 
 #[test]
+fn injected_stale_index_read_is_caught_and_shrunk() {
+    // The hash index's injected coherence fault: the eager remove winner
+    // skips its invalidate-before-retire duty, and the index read path
+    // trusts any generation-valid entry without re-checking the node's
+    // validity word. With no reclamation running the generation never
+    // bumps, so the stale entry keeps answering point reads for a key
+    // that was removed — a successful remove followed by a `true`
+    // contains with no insert in between, which cannot linearize.
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 8,
+        ops_per_thread: 30,
+        update_pct: 70,
+        preload: true,
+        seed: 5,
+    };
+    let mut caught = None;
+    for det_seed in [1u64, 2, 3] {
+        let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum: 2 });
+        if let Err(report) = stress_named_det("hashed_sg", &cfg, &det) {
+            caught = Some(report);
+            break;
+        }
+    }
+    let report = caught.expect("stale index read injection went undetected on every schedule");
+
+    let (shrunk_det, _trace) = report.schedule.clone().expect("det report without schedule");
+    assert!(matches!(shrunk_det.policy, Policy::Replay { .. }));
+    assert!(!report.failure.history.is_empty());
+    // The only injected fault is the skipped invalidate, so the violating
+    // history must contain the remove whose entry went stale.
+    assert!(
+        report
+            .failure
+            .history
+            .iter()
+            .any(|r| r.op == Op::Remove && r.result),
+        "shrunk history has no successful remove: {report}"
+    );
+
+    let total: usize = report.plans.iter().map(Vec::len).sum();
+    let original = cfg.threads as usize * cfg.ops_per_thread;
+    assert!(
+        total <= original / 2,
+        "shrinker left {total} of {original} ops: {report}"
+    );
+
+    let (records, _) =
+        records_named_det("hashed_sg", &report.config, &report.plans, &shrunk_det);
+    assert!(
+        synchro::stress::check_records(&records, &report.config).is_err(),
+        "shrunk report does not reproduce the violation:\n{report}"
+    );
+
+    let text = format!("{report}");
+    assert!(text.contains("hashed_sg"));
+    assert!(text.contains("replay:"));
+}
+
+#[test]
 fn injected_blocked_lost_insert_is_caught_and_shrunk() {
     // The blocked map's injected fault: an insert that observes its block
     // frozen at publish time reports success without ever setting the

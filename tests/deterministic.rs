@@ -203,6 +203,42 @@ fn batched_executor_pct_and_round_robin_linearize() {
     }
 }
 
+/// Deterministic-schedule stress of the shared point-read hash index:
+/// an update-heavy mix over a tiny key space so inserts/removes churn
+/// index entries (publish-after-link vs invalidate racing reads through
+/// the index fast path), with the scheduler interleaving the entry CAS
+/// protocol against the node-state re-checks. A stale index read
+/// surviving validation would surface as a non-linearizable per-key
+/// history.
+#[test]
+fn hashed_index_pct_and_round_robin_linearize() {
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 10,
+        ops_per_thread: 120,
+        update_pct: 80,
+        preload: true,
+        seed: 13,
+    };
+    let base = env_seed(700);
+    for s in 0..4u64 {
+        let det = DetConfig::new(
+            base + s,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        stress_named_det("hashed_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("hashed_sg pct seed {}: {e}", base + s));
+    }
+    for quantum in [1u32, 3, 7] {
+        let det = DetConfig::new(base, Policy::RoundRobin { quantum });
+        stress_named_det("hashed_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("hashed_sg round-robin quantum {quantum}: {e}"));
+    }
+}
+
 /// Long-running sweep; run explicitly with
 /// `cargo test --features deterministic -- --ignored long_det_sweep`.
 #[test]
