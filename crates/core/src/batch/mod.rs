@@ -344,14 +344,18 @@ impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
         let mut own_out: Vec<Option<BatchOutcome<K, V>>> =
             (0..own_len).map(|_| None).collect();
         let mut chain = HintChain::new();
+        // Freshly linked nodes defer their index publish; the whole sorted
+        // run goes into the hash index in one pass after execution.
+        let mut publishes = Vec::new();
         for (si, oi, op) in work {
-            let out = handle.combined_op(op, &mut chain);
+            let out = handle.combined_op(op, &mut chain, &mut publishes);
             if si == OWN {
                 own_out[oi] = Some(out);
             } else {
                 bufs[buf_of[si]][oi] = Some(out);
             }
         }
+        handle.publish_run(&publishes);
         // Write-back phase: per slot, restore submission order and release
         // with DONE.
         for (buf, &(si, _)) in bufs.into_iter().zip(drained.iter()) {

@@ -337,6 +337,28 @@ impl<K: Ord, V> SkipGraph<K, V> {
         }
     }
 
+    /// Bulk publish-after-link for a combiner's sorted run: one pass over
+    /// the run's freshly linked nodes instead of a per-operation publish
+    /// inside [`SkipGraph::try_link_level0`]. Each entry is re-validated
+    /// under the pin — a node that was marked (or lazily invalidated, or
+    /// retired) since its link is skipped; the liveness ladder on the read
+    /// side makes a lost race here merely a missed fast path, never a
+    /// wrong answer.
+    pub(crate) fn index_publish_run(&self, run: &[NodeRef<K, V>], ctx: &ThreadCtx) {
+        if self.index.is_none() || run.is_empty() {
+            return;
+        }
+        let _pin = self.pin(ctx);
+        for r in run {
+            let Some(node) = r.node() else { continue };
+            let w0 = node.load_next(0, ctx);
+            if w0.marked() || (self.config.lazy && !w0.valid()) {
+                continue;
+            }
+            self.index_publish(NonNull::from(node), 0);
+        }
+    }
+
     /// Invalidate-before-retire: clears any index entry naming `node`
     /// (matched by pointer, so a newer incarnation's entry survives).
     pub(crate) fn index_invalidate(&self, node: &Node<K, V>) {
@@ -355,9 +377,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
         ctx: &ThreadCtx,
     ) -> Option<IndexRead<'g, K, V>> {
         let idx = self.index.as_ref()?;
-        let read = idx.read_node(key, self.config.lazy);
+        let read = idx.read_node(key, self.config.lazy, ctx);
         match &read {
-            IndexRead::Hit(_) | IndexRead::Absent => {
+            IndexRead::Hit(_) | IndexRead::Absent(_) => {
                 ctx.record_index_hit();
                 ctx.record_search(1);
             }
@@ -511,7 +533,10 @@ impl<K: Ord, V> SkipGraph<K, V> {
         self.heads[head_index(level, list_suffix(mvec, level))]
     }
 
-    /// Allocates a data node in the calling thread's arena.
+    /// Allocates a data node in the calling thread's arena. The ownership
+    /// tag (locality attribution + recycle destination) is the allocating
+    /// thread unless the configuration pins the whole structure to one
+    /// owner (`owner_tag`, the per-socket replica case).
     pub(crate) fn alloc_node(
         &self,
         key: K,
@@ -520,11 +545,12 @@ impl<K: Ord, V> SkipGraph<K, V> {
         top_level: u8,
     ) -> NonNull<Node<K, V>> {
         let mvec = self.membership[ctx.id() as usize];
+        let owner = self.config.owner_tag.unwrap_or(ctx.id());
         self.arenas[ctx.id() as usize].alloc(Node::new_data(
             key,
             value,
             mvec,
-            ctx.id(),
+            owner,
             top_level,
             cycles() as u32,
         ))

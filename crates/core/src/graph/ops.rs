@@ -114,10 +114,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
             return Some(true);
             #[cfg(not(feature = "bug-injection"))]
             if node.cas_next(0, w0, w0.with_valid(false), ctx).is_ok() {
-                // The node stays linked (lazy removal), but the index
-                // entry is now a miss-in-waiting; drop it eagerly so
-                // reads fall back to the authoritative descent.
-                self.index_invalidate(node);
+                // The node stays linked and remains the unique holder of
+                // its key, so its index entry stays too: the read side
+                // sees unmarked-invalid and answers authoritative absence
+                // in O(1), and a later re-insert resurrects through the
+                // entry instead of paying a descent. The entry dies with
+                // the node (invalidate-before-retire) or is overwritten
+                // by the next incarnation's publish — both within the
+                // same probe window a reader uses, so a visible entry is
+                // never wrong, only at worst superseded.
                 return Some(true);
             }
         }
@@ -159,6 +164,20 @@ impl<K: Ord, V> SkipGraph<K, V> {
         res: &SearchResult<K, V>,
         ctx: &ThreadCtx,
     ) -> bool {
+        self.try_link_level0_publish(node, res, ctx, true)
+    }
+
+    /// [`SkipGraph::try_link_level0`] with the publish-after-link index
+    /// update made optional: combiner sorted runs pass `publish = false`,
+    /// collect the linked nodes, and publish the whole run in one pass via
+    /// [`SkipGraph::index_publish_run`].
+    pub(crate) fn try_link_level0_publish(
+        &self,
+        node: NonNull<Node<K, V>>,
+        res: &SearchResult<K, V>,
+        ctx: &ThreadCtx,
+        publish: bool,
+    ) -> bool {
         let m0 = res.middles[0];
         if m0.marked() {
             return false; // predecessor was deleted; caller re-searches
@@ -173,7 +192,9 @@ impl<K: Ord, V> SkipGraph<K, V> {
         if ok {
             // Publish-after-link: the node is reachable from level 0, so
             // the index may now name it.
-            self.index_publish(node, 0);
+            if publish {
+                self.index_publish(node, 0);
+            }
             // The insert substituted the captured marked chain: those
             // nodes are now unlinked at level 0.
             self.note_unlinked_chain(m0.ptr(), res.succs[0], 0, ctx);
@@ -360,7 +381,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         // without a descent; anything questionable falls through.
         match self.index_read(key, ctx) {
             Some(IndexRead::Hit(_)) => return true,
-            Some(IndexRead::Absent) => return false,
+            Some(IndexRead::Absent(_)) => return false,
             _ => {}
         }
         let mvec = self.membership_of(ctx.id());
@@ -388,7 +409,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         // incarnation.
         match self.index_read(key, ctx) {
             Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
-            Some(IndexRead::Absent) => return None,
+            Some(IndexRead::Absent(_)) => return None,
             _ => {}
         }
         let mvec = self.membership_of(ctx.id());
@@ -424,6 +445,27 @@ impl<K: Ord, V> SkipGraph<K, V> {
         start: Option<NodePtr<K, V>>,
         chain: &mut HintChain<K, V>,
         ctx: &ThreadCtx,
+    ) -> (bool, Option<NodeRef<K, V>>) {
+        self.insert_with_hint_sink(key, value, height, start, chain, ctx, None)
+    }
+
+    /// [`SkipGraph::insert_with_hint`] with an optional deferred-publish
+    /// sink: when `defer` is given, a freshly linked node is *not*
+    /// published to the hash index inline — its [`NodeRef`] is pushed into
+    /// the sink instead, and the caller publishes the whole sorted run in
+    /// one [`SkipGraph::index_publish_run`] pass after the run completes.
+    /// Lazy resurrections of existing nodes still publish inline (the
+    /// helper owns that transition either way).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_with_hint_sink(
+        &self,
+        key: K,
+        value: V,
+        height: u8,
+        start: Option<NodePtr<K, V>>,
+        chain: &mut HintChain<K, V>,
+        ctx: &ThreadCtx,
+        mut defer: Option<&mut Vec<NodeRef<K, V>>>,
     ) -> (bool, Option<NodeRef<K, V>>) {
         debug_assert!(height <= self.config().max_level);
         let _pin = self.pin(ctx);
@@ -464,15 +506,19 @@ impl<K: Ord, V> SkipGraph<K, V> {
                 let (k, v) = pending.take().expect("pending kv");
                 self.alloc_node(k, v, ctx, height)
             });
-            if !self.try_link_level0(n, &res, ctx) {
+            if !self.try_link_level0_publish(n, &res, ctx, defer.is_none()) {
                 continue;
+            }
+            let fresh = NodeRef::new(n);
+            if let Some(sink) = defer.as_deref_mut() {
+                sink.push(fresh);
             }
             let _ = self.link_upper(n, &mut res, ctx, || None);
             // `res` still holds strict predecessors of the key (link_upper
             // refreshes keep that invariant), so it is a valid frontier for
             // the run's next, larger-or-equal key.
             chain.res = Some(res);
-            return (true, Some(NodeRef::new(n)));
+            return (true, Some(fresh));
         }
     }
 
@@ -543,7 +589,7 @@ impl<K: Ord, V> SkipGraph<K, V> {
         // unchanged. Only an inconclusive read pays the hinted search.
         match self.index_read(key, ctx) {
             Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
-            Some(IndexRead::Absent) => return None,
+            Some(IndexRead::Absent(_)) => return None,
             _ => {}
         }
         let mvec = self.membership_of(ctx.id());

@@ -59,6 +59,7 @@
 //! building thread) instead of striding a single machine-wide array.
 
 use crate::node::Node;
+use instrument::ThreadCtx;
 use crate::sync::FacadeAtomicUsize;
 use numa::{Placement, Topology};
 use std::hash::{Hash, Hasher};
@@ -310,10 +311,12 @@ pub(crate) enum IndexRead<'g, K, V> {
     /// The validated live holder of the key, unmarked and valid.
     Hit(&'g Node<K, V>),
     /// Authoritative absence: the unique (lazy) holder is logically
-    /// deleted. (Never produced with the injected coherence bug compiled
-    /// in — that build answers Hit before the liveness ladder.)
+    /// deleted. Carries that holder so an insert can resurrect it in
+    /// place — the entry doubles as a tombstone and as the re-insertion
+    /// fast path. (Never produced with the injected coherence bug
+    /// compiled in — that build answers Hit before the liveness ladder.)
     #[cfg_attr(feature = "bug-injection", allow(dead_code))]
-    Absent,
+    Absent(&'g Node<K, V>),
 }
 
 /// The shared, lock-free, resizable hash index. One per indexed
@@ -512,7 +515,7 @@ impl<K: Ord, V> HashIndex<K, V> {
     /// `lazy` selects the protocol: under it, an unmarked *invalid* node
     /// is the unique holder of its key, so the read is authoritative
     /// absence; eagerly-deleted nodes are marked and fall back instead.
-    pub(crate) fn read_node(&self, key: &K, lazy: bool) -> IndexRead<'_, K, V> {
+    pub(crate) fn read_node(&self, key: &K, lazy: bool, ctx: &ThreadCtx) -> IndexRead<'_, K, V> {
         let Some(entry) = self.lookup_raw(key) else {
             return IndexRead::Miss;
         };
@@ -541,7 +544,10 @@ impl<K: Ord, V> HashIndex<K, V> {
         }
         #[cfg(not(feature = "bug-injection"))]
         {
-            let w0 = node.load_next_raw(0);
+            // A recorded load: the hit node's level-0 word is a real
+            // cache-line touch (the one line an index-served read costs),
+            // so it must show up in the access matrices like any other.
+            let w0 = node.load_next(0, ctx);
             if w0.marked() {
                 // Dead incarnation awaiting retire: tombstone and descend
                 // (a fresh insert of the key may own a new node).
@@ -551,7 +557,7 @@ impl<K: Ord, V> HashIndex<K, V> {
             if w0.valid() {
                 IndexRead::Hit(node)
             } else if lazy {
-                IndexRead::Absent
+                IndexRead::Absent(node)
             } else {
                 IndexRead::Stale
             }

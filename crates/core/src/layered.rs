@@ -604,7 +604,7 @@ where
         // index may still answer in O(1) before we pay a descent.
         match shared.index_read(key, &self.ctx) {
             Some(IndexRead::Hit(_)) => return true,
-            Some(IndexRead::Absent) => return false,
+            Some(IndexRead::Absent(_)) => return false,
             _ => {}
         }
         // Alg. 7: search from the local start.
@@ -646,7 +646,7 @@ where
         // keeps the hit node dereferenceable.
         match shared.index_read(key, &self.ctx) {
             Some(IndexRead::Hit(node)) => return Some(unsafe { node.value() }.clone()),
-            Some(IndexRead::Absent) => return None,
+            Some(IndexRead::Absent(_)) => return None,
             _ => {}
         }
         let start = self.get_start(key, 0);
@@ -843,10 +843,18 @@ where
         }
     }
 
+    /// Publishes a combined run's freshly linked nodes into the shared
+    /// hash index in one pass (the deferred half of
+    /// [`SkipGraph::index_publish_run`]'s contract).
+    pub(crate) fn publish_run(&self, run: &[NodeRef<K, V>]) {
+        self.map.shared.index_publish_run(run, &self.ctx);
+    }
+
     pub(crate) fn combined_op(
         &mut self,
         op: BatchOp<K, V>,
         chain: &mut HintChain<K, V>,
+        publishes: &mut Vec<NodeRef<K, V>>,
     ) -> BatchOutcome<K, V>
     where
         V: Clone,
@@ -880,11 +888,32 @@ where
                         }
                     }
                 }
+                // Index-seeded fast path: under the lazy protocol a shared
+                // hash-index hit resolves the insert with one helper CAS,
+                // exactly like a local-hashtable hit — the run's first
+                // operations effectively "start at the indexed node"
+                // instead of searching from the local map. An `Absent`
+                // entry is the same node with its valid bit down (lazy
+                // removal keeps the tombstone entry), so the helper
+                // resurrects it in place — a remove/re-insert cycle never
+                // leaves the index.
+                if lazy {
+                    if let Some(IndexRead::Hit(node) | IndexRead::Absent(node)) =
+                        shared.index_read(&k, &self.ctx)
+                    {
+                        if let Some(fresh) = shared.insert_helper(node, &self.ctx) {
+                            let r = NodeRef::new(NonNull::from(node));
+                            self.index_combined(&k, r);
+                            return BatchOutcome::Inserted { fresh, node: Some(r) };
+                        }
+                        // Marked under the helper: pay the full search.
+                    }
+                }
                 let start = self.prev_start(&k, 0);
                 let height = self.new_height();
                 let key = k.clone();
-                let (fresh, node) =
-                    shared.insert_with_hint(k, v, height, start, chain, &self.ctx);
+                let (fresh, node) = shared
+                    .insert_with_hint_sink(k, v, height, start, chain, &self.ctx, Some(publishes));
                 if let Some(r) = node {
                     self.index_combined(&key, r);
                 }
@@ -906,6 +935,29 @@ where
                             // Non-lazy removals always need the cleanup search
                             // for the tombstoned predecessor; no fast path.
                         }
+                    }
+                }
+                // Index-seeded fast path (lazy only: `Absent` is
+                // authoritative solely under the lazy protocol, and the
+                // helper CAS is the whole removal there).
+                if lazy {
+                    match shared.index_read(&k, &self.ctx) {
+                        Some(IndexRead::Hit(node)) => {
+                            if let Some(removed) = shared.remove_helper(node, &self.ctx) {
+                                return BatchOutcome::Removed {
+                                    removed,
+                                    pred: None,
+                                };
+                            }
+                            // Marked mid-helper: fall through to the search.
+                        }
+                        Some(IndexRead::Absent(_)) => {
+                            return BatchOutcome::Removed {
+                                removed: false,
+                                pred: None,
+                            }
+                        }
+                        _ => {}
                     }
                 }
                 let start = self.prev_start(&k, 0);

@@ -61,6 +61,7 @@ mod node;
 mod params;
 mod prefetch;
 mod reclaim;
+pub mod replicate;
 pub mod sync;
 
 pub mod local;
@@ -77,6 +78,7 @@ pub use layered::{CombiningHandle, LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};
 pub use mvec::{default_max_level, MembershipStrategy};
 pub use params::{GraphConfig, DEFAULT_COMMISSION_FACTOR};
+pub use replicate::{ReplicaConfig, ReplicatedHandle, ReplicatedLayeredMap};
 
 /// Maximum supported tower height (levels `0..MAX_HEIGHT`).
 pub const MAX_HEIGHT: usize = node::MAX_HEIGHT;

@@ -107,6 +107,40 @@ where
     }
 }
 
+impl<K, V> ConcurrentMap<K, V> for crate::replicate::ReplicatedLayeredMap<K, V>
+where
+    K: Ord + Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Handle<'a>
+        = crate::replicate::ReplicatedHandle<'a, K, V>
+    where
+        Self: 'a;
+
+    fn pin(&self, ctx: ThreadCtx) -> Self::Handle<'_> {
+        self.register(ctx)
+    }
+}
+
+impl<'m, K, V> MapHandle<K, V> for crate::replicate::ReplicatedHandle<'m, K, V>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+{
+    fn insert(&mut self, key: K, value: V) -> bool {
+        crate::replicate::ReplicatedHandle::insert(self, key, value)
+    }
+    fn remove(&mut self, key: &K) -> bool {
+        crate::replicate::ReplicatedHandle::remove(self, key)
+    }
+    fn contains(&mut self, key: &K) -> bool {
+        crate::replicate::ReplicatedHandle::contains(self, key)
+    }
+    fn ctx(&self) -> &ThreadCtx {
+        crate::replicate::ReplicatedHandle::ctx(self)
+    }
+}
+
 /// Per-thread handle for operating a [`SkipGraph`] *without* the
 /// thread-local layer (the paper's non-layered skip graph ablation).
 pub struct SkipGraphHandle<'g, K, V> {

@@ -62,6 +62,13 @@ pub struct GraphConfig {
     /// Segments start at `index_capacity / segments` slots and grow
     /// lock-free past the hint under load.
     pub index_capacity: usize,
+    /// NUMA-ownership override: when set, every node allocated in this
+    /// structure is tagged as owned by this thread (and recycled into its
+    /// arena bank) instead of the allocating thread. Used by per-socket
+    /// replicas, whose memory belongs to the replica's socket no matter
+    /// which thread happens to replay an operation into it. `None` (the
+    /// default) keeps allocating-thread ownership.
+    pub owner_tag: Option<u16>,
 }
 
 impl GraphConfig {
@@ -89,6 +96,7 @@ impl GraphConfig {
             block_bytes: 0,
             hash_index: false,
             index_capacity: 0,
+            owner_tag: None,
         }
     }
 
@@ -168,6 +176,21 @@ impl GraphConfig {
     /// avoids the early growth steps.
     pub fn index_capacity(mut self, entries: usize) -> Self {
         self.index_capacity = entries;
+        self
+    }
+
+    /// Tags every node allocated in this structure as owned by `thread`
+    /// (see [`GraphConfig::owner_tag`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is not a registered thread id.
+    pub fn owner_tag(mut self, thread: u16) -> Self {
+        assert!(
+            (thread as usize) < self.num_threads,
+            "owner tag must be a registered thread id"
+        );
+        self.owner_tag = Some(thread);
         self
     }
 

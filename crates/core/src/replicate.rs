@@ -1,0 +1,706 @@
+//! Per-socket node replication over a bounded operation log
+//! (`skipgraph::replicate`).
+//!
+//! The layered skip graph keeps *traversals* NUMA-local, but every read
+//! still crosses sockets to reach the single shared structure. Following
+//! node-replication (Black-box Concurrent Data Structures for NUMA
+//! Machines) and its multi-log successor CNR, [`ReplicatedLayeredMap`]
+//! keeps one full replica of the layered map per (synthetic) socket:
+//!
+//! * **Reads** pin to the calling thread's socket replica and run through
+//!   that replica's own local structures and hash index — zero remote
+//!   traffic on the traversal itself. Consistency costs exactly one load
+//!   of the mapped log's shared `head` word: if the local replica's
+//!   completion tail trails it, the reader catches the replica up first
+//!   (NR's read rule), which preserves per-key linearizability across
+//!   sockets.
+//! * **Writes** append to a bounded MPSC *operation log* and return once
+//!   the writer's home replica has applied the op (read-your-writes). Any
+//!   thread may *replay* any replica: it wins the per-(replica, log)
+//!   replay lease, drains the pending suffix `[tail, head)`, sorts it into
+//!   an ascending run, and executes it through the layered map's
+//!   hint-chained combined path — the same sorted-run machinery the flat
+//!   combiner uses, including the one-pass bulk index publish. The sort is
+//!   stable, so same-key operations keep log order and every replica
+//!   applies an identical per-key history; set-semantics outcomes depend
+//!   only on that history, so replicas never diverge.
+//! * **Multi-log partitioning**: keys are hashed onto `logs` independent
+//!   logs by their membership-vector list family
+//!   ([`crate::mvec::list_suffix`] of the key hash at level `log2 logs`) —
+//!   CNR's `LogMapper` rule specialized to the skip graph's constituent
+//!   lists. All operations on one key share a log (conflicting ops stay
+//!   totally ordered); different families replay in parallel under
+//!   independent leases.
+//! * **Backpressure**: an appender observing `head - min_tail >= max_lag`
+//!   helps replay the laggiest replica instead of growing the backlog, so
+//!   a slot is never reclaimed while an applier might still read it
+//!   (`max_lag <= capacity` makes the bounded buffer safe by
+//!   construction).
+//!
+//! Every coordination word (`head`, per-replica tails, replay leases, slot
+//! sequence/result stamps) is a [`crate::sync::FacadeAtomicUsize`], so
+//! under `--features deterministic` the cooperative scheduler drives
+//! append, replay, and catch-up at the same replayable granularity as the
+//! structure itself; the `replicated_sg` stress lanes run PCT and
+//! round-robin schedules over exactly this protocol.
+
+use crate::batch::{BatchOp, BatchOutcome};
+use crate::graph::{HintChain, NodeRef};
+use crate::layered::{LayeredHandle, LayeredMap};
+use crate::mvec::list_suffix;
+use crate::params::GraphConfig;
+use crate::sync::FacadeAtomicUsize;
+use instrument::ThreadCtx;
+use std::cell::UnsafeCell;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Pads to two cache lines so the log head, the per-replica tails, and the
+/// replay leases never false-share.
+#[repr(align(128))]
+struct Padded<T>(T);
+
+/// Replication geometry: thread→socket placement plus log shape.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// `socket_of[t]` = replica index thread `t` pins its reads to.
+    socket_of: Vec<usize>,
+    sockets: usize,
+    logs: usize,
+    log_capacity: usize,
+    max_lag: usize,
+}
+
+impl ReplicaConfig {
+    /// `threads` split into `sockets` contiguous blocks (synthetic
+    /// topology, same shape as [`crate::batch::BatchConfig::uniform`] but *without* the
+    /// socket clamp: a replica may own no threads at all — backpressure
+    /// help keeps it within `max_lag` of the log head anyway, which is
+    /// what the ≥4-synthetic-socket bench lanes rely on).
+    pub fn uniform(threads: usize, sockets: usize) -> Self {
+        assert!(threads > 0 && sockets > 0);
+        let socket_of = (0..threads).map(|t| t * sockets / threads).collect();
+        Self::with_placement(socket_of, sockets)
+    }
+
+    /// Derives the thread→replica map from a [`numa::Placement`] (the
+    /// placement that pins benchmark threads), one replica per *populated*
+    /// NUMA node.
+    pub fn from_placement(placement: &numa::Placement) -> Self {
+        let socket_of = placement.numa_nodes();
+        assert!(!socket_of.is_empty());
+        let sockets = socket_of.iter().copied().max().unwrap_or(0) + 1;
+        // Placement fills sockets in rank order, so the populated nodes
+        // are exactly 0..distinct_nodes() and the replica count matches.
+        debug_assert_eq!(sockets, placement.distinct_nodes());
+        Self::with_placement(socket_of, sockets)
+    }
+
+    fn with_placement(socket_of: Vec<usize>, sockets: usize) -> Self {
+        Self {
+            socket_of,
+            sockets,
+            logs: 2,
+            log_capacity: 256,
+            max_lag: 192,
+        }
+    }
+
+    /// Number of independent operation logs (default 2). Must be a power
+    /// of two: the log of a key is the `log2(logs)`-bit list-family suffix
+    /// of its hash.
+    pub fn logs(mut self, logs: usize) -> Self {
+        assert!(logs >= 1 && logs.is_power_of_two(), "logs must be a power of two");
+        self.logs = logs;
+        self
+    }
+
+    /// Slots per log (default 256). Must be a power of two `>= 2`.
+    pub fn log_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            capacity >= 2 && capacity.is_power_of_two(),
+            "log capacity must be a power of two >= 2"
+        );
+        self.log_capacity = capacity;
+        self
+    }
+
+    /// Backpressure bound (default 192): an appender observing this many
+    /// unapplied slots ahead of the slowest replica helps replay before
+    /// appending. Must satisfy `1 <= max_lag <= log_capacity`.
+    pub fn max_lag(mut self, max_lag: usize) -> Self {
+        assert!(max_lag >= 1, "max_lag must be positive");
+        self.max_lag = max_lag;
+        self
+    }
+
+    /// Number of registered threads.
+    pub fn threads(&self) -> usize {
+        self.socket_of.len()
+    }
+
+    /// Number of replicas (sockets).
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// The replica thread `t` pins its reads to.
+    pub fn socket_of(&self, t: u16) -> usize {
+        self.socket_of[t as usize]
+    }
+}
+
+/// What an appender deposits in a log slot.
+struct Pending<K, V> {
+    /// The appender's socket: the applier replaying *that* replica
+    /// publishes the operation's outcome back through the slot.
+    home: usize,
+    op: BatchOp<K, V>,
+}
+
+/// One bounded-log slot. Three phases, each handed off through a facade
+/// atomic:
+///
+/// 1. the appender (exclusive by slot-reuse invariant) writes `op`, then
+///    stamps `seq = pos + 1`;
+/// 2. appliers of every replica wait for the stamp and read `op` (shared);
+/// 3. the applier on the appender's home replica publishes
+///    `result = ((pos + 1) << 1) | ok`, and the appender consumes it back
+///    to `0` — the consume-ack that lets the slot's next occupant (a full
+///    wrap later) publish its own outcome unambiguously.
+struct LogSlot<K, V> {
+    seq: FacadeAtomicUsize,
+    result: FacadeAtomicUsize,
+    op: UnsafeCell<Option<Pending<K, V>>>,
+}
+
+/// A bounded MPSC operation log with one completion tail (and one replay
+/// lease) per replica.
+struct OpLog<K, V> {
+    head: Padded<FacadeAtomicUsize>,
+    tails: Vec<Padded<FacadeAtomicUsize>>,
+    leases: Vec<Padded<FacadeAtomicUsize>>,
+    slots: Box<[LogSlot<K, V>]>,
+    mask: usize,
+}
+
+// Slot cells are handed off through the seq/result stamps (see `LogSlot`);
+// shared reads of a stamped op happen through `&Pending`, hence `Sync` on
+// the key/value types.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for OpLog<K, V> {}
+unsafe impl<K: Send, V: Send> Send for OpLog<K, V> {}
+
+impl<K, V> OpLog<K, V> {
+    fn new(capacity: usize, replicas: usize) -> Self {
+        Self {
+            head: Padded(FacadeAtomicUsize::new(0)),
+            tails: (0..replicas).map(|_| Padded(FacadeAtomicUsize::new(0))).collect(),
+            leases: (0..replicas).map(|_| Padded(FacadeAtomicUsize::new(0))).collect(),
+            slots: (0..capacity)
+                .map(|_| LogSlot {
+                    seq: FacadeAtomicUsize::new(0),
+                    result: FacadeAtomicUsize::new(0),
+                    op: UnsafeCell::new(None),
+                })
+                .collect(),
+            mask: capacity - 1,
+        }
+    }
+
+    /// The slowest replica's completion tail.
+    fn min_tail(&self) -> usize {
+        self.tails.iter().map(|t| t.0.load()).min().expect("at least one replica")
+    }
+
+    /// The replica with the smallest completion tail (backpressure target).
+    fn laggiest(&self) -> usize {
+        let mut best = 0;
+        let mut best_tail = usize::MAX;
+        for (r, t) in self.tails.iter().enumerate() {
+            let tail = t.0.load();
+            if tail < best_tail {
+                best_tail = tail;
+                best = r;
+            }
+        }
+        best
+    }
+}
+
+/// One replica of the layered map per socket, fed by membership-vector-
+/// partitioned operation logs. See the module docs for the protocol.
+pub struct ReplicatedLayeredMap<K, V> {
+    replicas: Vec<LayeredMap<K, V>>,
+    logs: Vec<OpLog<K, V>>,
+    rcfg: ReplicaConfig,
+    /// `log2(logs)` — the membership-vector level whose list families key
+    /// the log partition.
+    log_level: u8,
+}
+
+impl<K: Ord + Hash + Clone, V> ReplicatedLayeredMap<K, V> {
+    /// Builds `rcfg.sockets()` replicas of the layered map described by
+    /// `config` (every thread registers on every replica, so
+    /// `config.num_threads` must cover all of `rcfg.threads()`).
+    ///
+    /// The hash index (`config.hash_index`) is what makes replica-local
+    /// reads O(1); replication works without it but then pays a local
+    /// descent per read.
+    pub fn new(config: GraphConfig, rcfg: ReplicaConfig) -> Self {
+        assert!(
+            config.num_threads >= rcfg.threads(),
+            "graph config sized for {} threads, placement has {}",
+            config.num_threads,
+            rcfg.threads()
+        );
+        assert!(
+            rcfg.max_lag <= rcfg.log_capacity,
+            "max_lag {} exceeds log capacity {}",
+            rcfg.max_lag,
+            rcfg.log_capacity
+        );
+        let sockets = rcfg.sockets();
+        let replicas = (0..sockets)
+            .map(|r| {
+                // Per-socket placement: replica `r`'s memory belongs to
+                // socket `r` no matter which thread replays into it, so
+                // its nodes carry the socket's first thread as ownership
+                // tag (locality attribution + recycle destination). A
+                // thread-less socket keeps allocating-thread ownership.
+                let rep = (0..rcfg.threads()).find(|&t| rcfg.socket_of(t as u16) == r);
+                let cfg = match rep {
+                    Some(t) => config.clone().owner_tag(t as u16),
+                    None => config.clone(),
+                };
+                LayeredMap::new(cfg)
+            })
+            .collect();
+        Self {
+            replicas,
+            logs: (0..rcfg.logs).map(|_| OpLog::new(rcfg.log_capacity, sockets)).collect(),
+            log_level: rcfg.logs.trailing_zeros() as u8,
+            rcfg,
+        }
+    }
+
+    /// The replication geometry this map was built with.
+    pub fn replica_config(&self) -> &ReplicaConfig {
+        &self.rcfg
+    }
+
+    /// The per-socket replicas (tests drive per-replica reclamation
+    /// flushes through this; production code never needs it).
+    pub fn replicas(&self) -> &[LayeredMap<K, V>] {
+        &self.replicas
+    }
+
+    /// The log a key's operations append to: the level-`log2(logs)`
+    /// membership-vector list family of the key's hash. All operations on
+    /// one key conflict, so they share a log and stay totally ordered;
+    /// distinct families commute and replay in parallel.
+    fn log_of(&self, key: &K) -> usize {
+        if self.logs.len() == 1 {
+            return 0;
+        }
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        list_suffix(h.finish() as u32, self.log_level) as usize
+    }
+
+    /// Registers the calling thread on every replica; reads pin to the
+    /// replica of `ctx.id()`'s socket. `ctx.id()` must be a dense id below
+    /// the configured thread count, unique per live handle.
+    pub fn register(&self, ctx: ThreadCtx) -> ReplicatedHandle<'_, K, V> {
+        let tid = ctx.id();
+        let socket = self.rcfg.socket_of(tid);
+        // Remote replicas get a forked context — same thread id, same
+        // stats sink — so work this thread replays into another socket's
+        // replica is charged to this thread, against that replica's
+        // socket-owned nodes (remote traffic, as it would be on hardware).
+        let proto = ctx.fork();
+        let mut ctx = Some(ctx);
+        let handles = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(r, m)| {
+                if r == socket {
+                    m.register(ctx.take().expect("home ctx used once"))
+                } else {
+                    m.register(proto.fork())
+                }
+            })
+            .collect();
+        ReplicatedHandle {
+            map: self,
+            socket,
+            tid: tid as usize,
+            handles,
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for ReplicatedLayeredMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedLayeredMap")
+            .field("replicas", &self.replicas.len())
+            .field("logs", &self.logs.len())
+            .finish()
+    }
+}
+
+/// A per-thread handle to a [`ReplicatedLayeredMap`]: one layered handle
+/// per replica (the home one carries the thread's recording context), plus
+/// the append/replay protocol. Not `Send`.
+pub struct ReplicatedHandle<'m, K, V> {
+    map: &'m ReplicatedLayeredMap<K, V>,
+    socket: usize,
+    tid: usize,
+    handles: Vec<LayeredHandle<'m, K, V>>,
+}
+
+impl<'m, K, V> ReplicatedHandle<'m, K, V>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+{
+    /// The recording context of this thread (the home replica's handle).
+    pub fn ctx(&self) -> &ThreadCtx {
+        self.handles[self.socket].ctx()
+    }
+
+    /// The socket (replica index) this handle's reads pin to.
+    pub fn socket(&self) -> usize {
+        self.socket
+    }
+
+    /// Set-semantics insert through the operation log; returns once the
+    /// home replica has applied it (read-your-writes).
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        self.update(BatchOp::Insert(key, value))
+    }
+
+    /// Set-semantics remove through the operation log; returns once the
+    /// home replica has applied it.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.update(BatchOp::Remove(key.clone()))
+    }
+
+    /// Membership test served entirely by the socket-local replica after
+    /// the NR read rule (catch the local tail up to the mapped log's
+    /// head).
+    pub fn contains(&mut self, key: &K) -> bool {
+        let li = self.map.log_of(key);
+        self.catch_up_for_read(li);
+        self.handles[self.socket].contains(key)
+    }
+
+    /// Point lookup served by the socket-local replica (see
+    /// [`ReplicatedHandle::contains`]).
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let li = self.map.log_of(key);
+        self.catch_up_for_read(li);
+        self.handles[self.socket].get(key)
+    }
+
+    /// Catches this thread's socket replica up to the head of *every*
+    /// log (NR's `sync`): afterwards the replica reflects all operations
+    /// appended before the call. Reads do this lazily per log; call it
+    /// once after a bulk load so the replay debt is not paid inside a
+    /// measured (or latency-sensitive) read path.
+    pub fn sync(&mut self) {
+        for li in 0..self.map.logs.len() {
+            self.catch_up_for_read(li);
+        }
+    }
+
+    /// Appends `op` to its key's log and waits (helping) until the home
+    /// replica applied it; returns the operation's set-semantics outcome.
+    fn update(&mut self, op: BatchOp<K, V>) -> bool {
+        let map = self.map;
+        let li = map.log_of(op.key());
+        let log = &map.logs[li];
+        self.ctx().record_op();
+        // Claim a slot, lag-bounded: while the slowest replica trails by
+        // max_lag (<= capacity), help it drain instead of growing the
+        // backlog — this is also what makes slot reuse safe, since a
+        // claimed position implies every tail passed its previous
+        // occupant.
+        let pos = loop {
+            // `min` before `head`: tails never pass the head and the head
+            // only grows, so this order guarantees `min <= head` (the
+            // reverse order could observe a tail that advanced past a
+            // stale head). A stale-low `min` merely overestimates the lag.
+            let min = log.min_tail();
+            let head = log.head.0.load();
+            if head - min >= map.rcfg.max_lag {
+                let lagger = log.laggiest();
+                self.try_replay(li, lagger);
+                continue;
+            }
+            if log.head.0.compare_exchange(head, head + 1).is_ok() {
+                self.ctx().record_log_append((head - min) as u64);
+                break head;
+            }
+        };
+        let slot = &log.slots[pos & log.mask];
+        // Exclusive: all appliers finished the previous occupant (tails
+        // passed it) before `pos` could be claimed.
+        unsafe { *slot.op.get() = Some(Pending { home: self.socket, op }) };
+        slot.seq.store(pos + 1);
+        // Read-your-writes: wait for the home replica's applier to publish
+        // this op's outcome, replaying the home replica ourselves whenever
+        // its lease is free. Spin briefly for the fast handoff, then yield
+        // the OS thread (as the combiner's waiters do): on oversubscribed
+        // cores a busy-waiting writer steals the very quantum the lease
+        // holder needs to finish draining.
+        let mut spins = 0u32;
+        loop {
+            let r = slot.result.load();
+            if r >> 1 == pos + 1 {
+                slot.result.store(0); // consume-ack frees the slot's result
+                return r & 1 == 1;
+            }
+            self.try_replay(li, self.socket);
+            spins = spins.wrapping_add(1);
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// NR read rule: load the mapped log's head once, and if the local
+    /// replica's tail trails it, replay (or wait on whoever holds the
+    /// lease) until the tail passes it. One shared load per read — the
+    /// traversal itself never leaves the socket.
+    fn catch_up_for_read(&mut self, li: usize) {
+        let log = &self.map.logs[li];
+        let head = log.head.0.load();
+        // Injected bug (`--features bug-injection`): sever the tail-wait,
+        // serving the read from whatever prefix the local replica happens
+        // to have applied. A completed remote write (or a fresher read on
+        // another socket) is then invisible here — a stale read the
+        // deterministic stress wall catches and shrinks.
+        #[cfg(feature = "bug-injection")]
+        {
+            let _ = head;
+            return;
+        }
+        #[cfg_attr(feature = "bug-injection", allow(unreachable_code))]
+        {
+            let mut spins = 0u32;
+            while log.tails[self.socket].0.load() < head {
+                self.try_replay(li, self.socket);
+                spins = spins.wrapping_add(1);
+                if spins < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    // The lease holder may be descheduled mid-drain; hand
+                    // it our quantum instead of burning it.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// One replay attempt: win the (replica, log) lease and drain the
+    /// pending suffix, or return immediately if another thread holds it
+    /// (that thread's progress is ours — callers loop on the condition
+    /// they actually wait for).
+    fn try_replay(&mut self, li: usize, replica: usize) {
+        let log = &self.map.logs[li];
+        if log.leases[replica].0.compare_exchange(0, self.tid + 1).is_err() {
+            return;
+        }
+        self.drain(li, replica);
+        log.leases[replica].0.store(0);
+    }
+
+    /// Drains `[tail, head)` of log `li` into `replica` as one stable-
+    /// sorted hint-chained run (the combiner's sorted-run path, bulk index
+    /// publish included), publishing outcomes for ops homed here. The
+    /// caller holds the (replica, log) replay lease.
+    fn drain(&mut self, li: usize, replica: usize) {
+        let map = self.map;
+        let log = &map.logs[li];
+        let tail = log.tails[replica].0.load();
+        let head = log.head.0.load();
+        if head == tail {
+            return;
+        }
+        let mut batch: Vec<(usize, usize, BatchOp<K, V>)> = Vec::with_capacity(head - tail);
+        for pos in tail..head {
+            let slot = &log.slots[pos & log.mask];
+            // The claimer stamps seq right after writing the op; between
+            // claim and stamp we spin (each facade load is a det yield),
+            // yielding the OS thread once the claimer looks descheduled.
+            let mut spins = 0u32;
+            while slot.seq.load() != pos + 1 {
+                spins = spins.wrapping_add(1);
+                if spins < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            let p = unsafe { (*slot.op.get()).as_ref() }.expect("stamped slot holds an op");
+            batch.push((pos, p.home, p.op.clone()));
+        }
+        // Stable sort: same-key operations keep log order, so every
+        // replica applies the same per-key history (set-semantics outcomes
+        // depend on nothing else).
+        batch.sort_by(|a, b| a.2.key().cmp(b.2.key()));
+        let count = batch.len() as u64;
+        {
+            let mut chain = HintChain::new();
+            let mut publishes: Vec<NodeRef<K, V>> = Vec::new();
+            let handle = &mut self.handles[replica];
+            for (pos, home, op) in batch {
+                let out = handle.combined_op(op, &mut chain, &mut publishes);
+                if home == replica {
+                    let ok = match &out {
+                        BatchOutcome::Inserted { fresh, .. } => *fresh,
+                        BatchOutcome::Removed { removed, .. } => *removed,
+                        BatchOutcome::Got(v) => v.is_some(),
+                    };
+                    let slot = &log.slots[pos & log.mask];
+                    // The previous occupant's outcome (one wrap back) must
+                    // be consumed before this one lands; its writer is
+                    // live in its own result-wait, so this terminates —
+                    // but that writer may be descheduled, so yield to it.
+                    let mut spins = 0u32;
+                    while slot.result.load() != 0 {
+                        spins = spins.wrapping_add(1);
+                        if spins < 16 {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    slot.result.store(((pos + 1) << 1) | ok as usize);
+                }
+            }
+            handle.publish_run(&publishes);
+        }
+        log.tails[replica].0.store(head);
+        self.ctx().record_replay_batch(count);
+    }
+}
+
+impl<'m, K, V> std::fmt::Debug for ReplicatedHandle<'m, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedHandle")
+            .field("socket", &self.socket)
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(feature = "bug-injection")))]
+mod tests {
+    use super::*;
+    use instrument::AccessStats;
+
+    fn config(threads: usize) -> GraphConfig {
+        GraphConfig::new(threads).lazy(true).hash_index(true)
+    }
+
+    #[test]
+    fn single_thread_roundtrip_across_sockets() {
+        // One thread, two replicas: every write replays into the home
+        // replica synchronously; reads see it immediately.
+        let map: ReplicatedLayeredMap<u64, u64> =
+            ReplicatedLayeredMap::new(config(1), ReplicaConfig::uniform(1, 2).logs(2));
+        let mut h = map.register(ThreadCtx::plain(0));
+        assert!(h.insert(1, 10));
+        assert!(!h.insert(1, 11));
+        assert!(h.insert(2, 20));
+        assert_eq!(h.get(&1), Some(10));
+        assert!(h.contains(&2));
+        assert!(!h.contains(&3));
+        assert!(h.remove(&1));
+        assert!(!h.remove(&1));
+        assert_eq!(h.get(&1), None);
+        assert!(h.contains(&2));
+    }
+
+    #[test]
+    fn backpressure_wraps_a_tiny_log() {
+        // Capacity 8 with lag bound 4: 200 updates force many wraps and
+        // constant self-help replay; set semantics must be exact.
+        let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+            config(1),
+            ReplicaConfig::uniform(1, 2).logs(1).log_capacity(8).max_lag(4),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        for i in 0..100u64 {
+            assert!(h.insert(i, i), "fresh insert {i}");
+        }
+        for i in 0..100u64 {
+            assert_eq!(h.get(&i), Some(i));
+        }
+        for i in (0..100u64).step_by(2) {
+            assert!(h.remove(&i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(h.contains(&i), i % 2 == 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn read_your_writes_across_threads_and_sockets() {
+        // Two threads on two sockets. After the writer joins, the reader's
+        // catch-up must surface every write on its own replica.
+        let map: ReplicatedLayeredMap<u64, u64> =
+            ReplicatedLayeredMap::new(config(2), ReplicaConfig::uniform(2, 2).logs(2));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = map.register(ThreadCtx::plain(0));
+                for i in 0..48u64 {
+                    assert!(w.insert(i, i * 3));
+                }
+            })
+            .join()
+            .unwrap();
+            s.spawn(|| {
+                let mut r = map.register(ThreadCtx::plain(1));
+                assert_ne!(r.socket(), 0, "thread 1 pins to the second socket");
+                for i in 0..48u64 {
+                    assert_eq!(r.get(&i), Some(i * 3), "key {i}");
+                }
+            })
+            .join()
+            .unwrap();
+        });
+    }
+
+    #[test]
+    fn log_partition_is_stable_and_within_bounds() {
+        let map: ReplicatedLayeredMap<u64, u64> =
+            ReplicatedLayeredMap::new(config(1), ReplicaConfig::uniform(1, 1).logs(4));
+        for k in 0..256u64 {
+            let l = map.log_of(&k);
+            assert!(l < 4);
+            assert_eq!(l, map.log_of(&k), "same key, same log");
+        }
+    }
+
+    #[test]
+    fn counters_record_appends_and_replays() {
+        let stats = AccessStats::new(1);
+        let map: ReplicatedLayeredMap<u64, u64> =
+            ReplicatedLayeredMap::new(config(1), ReplicaConfig::uniform(1, 2));
+        let mut h = map.register(ThreadCtx::recording(0, stats.clone()));
+        for i in 0..16u64 {
+            h.insert(i, i);
+        }
+        assert!(h.contains(&3));
+        let t = stats.totals();
+        assert_eq!(t.log_appends, 16);
+        assert!(t.replay_batches >= 16, "home replays are synchronous");
+        assert!(t.replayed_ops >= 16);
+        assert_eq!(t.ops, 17);
+    }
+}

@@ -1,0 +1,219 @@
+//! The differential wall around per-socket replication
+//! (`skipgraph::replicate`).
+//!
+//! Every operation of a [`skipgraph::ReplicatedLayeredMap`] flows through
+//! a bounded operation log and is applied to each replica independently,
+//! so the things that can silently go wrong are *divergence* (replicas
+//! applying different per-key histories), *lost read-your-writes* (a read
+//! served by a replica whose tail never caught the mapped log's head),
+//! and *slot-reuse corruption* once a tiny log wraps. These tests drive
+//! two handles pinned to different sockets against a `BTreeMap` model —
+//! sequentially interleaved, so every outcome is exact — over a log small
+//! enough to wrap many times per sequence, **with reclamation on** and
+//! mid-run grace-period flushes on both replicas so replayed nodes are
+//! retired and recycled while the other replica still lags.
+#![cfg(not(feature = "bug-injection"))]
+
+//!
+//! Values are checked as *sets*, not exactly: the lazy protocol
+//! linearizes an insert over a logically-deleted node by flipping its
+//! valid bit back (`insertHelper`), which deliberately does not rewrite
+//! the stored value — so after remove+reinsert the observable value
+//! depends on whether a replica resurrected the old incarnation or
+//! linked a recycled fresh node. Membership is exact; every observed
+//! value must be one some successful insert of that key supplied (a
+//! recycled-slot mixup would surface another key's value or garbage).
+
+use instrument::ThreadCtx;
+use proptest::prelude::*;
+use skipgraph::{GraphConfig, ReplicaConfig, ReplicatedLayeredMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn replicated_reclaiming() -> ReplicatedLayeredMap<u64, u64> {
+    // Three thread slots: two handles on two sockets plus a flusher ctx.
+    // The 16-slot log with a lag bound of 12 wraps every few operations,
+    // keeping the backpressure and slot-reuse paths hot.
+    ReplicatedLayeredMap::new(
+        GraphConfig::new(3)
+            .lazy(true)
+            .hash_index(true)
+            .reclaim(true)
+            .chunk_capacity(256),
+        ReplicaConfig::uniform(2, 2).logs(2).log_capacity(16).max_lag(12),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential churn across sockets: arbitrary op sequences where
+    /// each op executes through the handle the generator picked, so
+    /// updates appended on one socket are read back through the other
+    /// socket's replica (the NR read rule under test), with reclamation
+    /// flushes recycling replayed nodes mid-sequence.
+    #[test]
+    fn replicated_map_behaves_like_btreemap_across_sockets(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..32, 0u64..1000, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let map = replicated_reclaiming();
+        let mut h0 = map.register(ThreadCtx::plain(0));
+        let mut h1 = map.register(ThreadCtx::plain(1));
+        prop_assert!(h0.socket() != h1.socket(), "handles share a socket");
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        // Every value a successful insert ever supplied for a key: the
+        // only values any replica may legally serve for it.
+        let mut legal: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let flush_ctx = ThreadCtx::plain(2);
+        for (op, k, v, second) in ops {
+            // Sequential interleaving keeps the model exact while still
+            // routing every op through the full append/replay protocol.
+            let h = if second { &mut h1 } else { &mut h0 };
+            match op {
+                0 | 1 => {
+                    let expect = !model.contains(&k);
+                    prop_assert_eq!(h.insert(k, v), expect, "insert {}", k);
+                    if expect {
+                        model.insert(k);
+                        legal.entry(k).or_default().insert(v);
+                    }
+                }
+                2 | 3 => prop_assert_eq!(h.remove(&k), model.remove(&k), "remove {}", k),
+                4 | 5 => {
+                    let got = h.get(&k);
+                    prop_assert_eq!(got.is_some(), model.contains(&k), "get {}", k);
+                    if let Some(v) = got {
+                        prop_assert!(
+                            legal.get(&k).is_some_and(|s| s.contains(&v)),
+                            "get {} served value {} no insert supplied", k, v
+                        );
+                    }
+                }
+                6 => prop_assert_eq!(h.contains(&k), model.contains(&k), "contains {}", k),
+                _ => {
+                    // Retire-and-recycle on both replicas: replayed
+                    // removals are flushed through the grace-period
+                    // protocol while the other replica may still hold
+                    // unapplied log entries for the same keys.
+                    for replica in map.replicas() {
+                        replica.shared().reclaim_flush(&flush_ctx);
+                    }
+                }
+            }
+        }
+        // Final sweep through both sockets: each replica must agree with
+        // the model key for key (divergence would surface on whichever
+        // socket applied the losing history).
+        for k in 0..32u64 {
+            prop_assert_eq!(
+                h0.contains(&k), model.contains(&k), "final contains {} via socket 0", k
+            );
+            prop_assert_eq!(
+                h1.contains(&k), model.contains(&k), "final contains {} via socket 1", k
+            );
+        }
+    }
+}
+
+/// `sync` catches a replica up to *every* log head in one call. The
+/// observable contract: after a bulk load through socket 0 and one
+/// `sync` on socket 1, socket 1's reads are pure reads — replaying a
+/// missed insert would have to link nodes into the replica, and linking
+/// takes CAS, which the instrumentation would count.
+#[test]
+fn sync_retires_replay_debt_across_all_logs() {
+    let map = replicated_reclaiming();
+    let mut writer = map.register(ThreadCtx::plain(0));
+    for k in 0..64u64 {
+        assert!(writer.insert(k, k));
+    }
+    let stats = instrument::AccessStats::new(3);
+    let mut reader = map.register(ThreadCtx::recording(1, stats.clone()));
+    reader.sync();
+    let (lc, rc) = stats.cas().split_by_locality(&[0, 0, 0]);
+    assert!(lc + rc > 0, "sync applied nothing: the preload left no replay debt to test");
+    let after_sync = lc + rc;
+    for k in 0..64u64 {
+        assert!(reader.contains(&k), "key {k} missing via socket 1 after sync");
+    }
+    let (lc, rc) = stats.cas().split_by_locality(&[0, 0, 0]);
+    assert_eq!(lc + rc, after_sync, "post-sync reads still paid replay CAS");
+}
+
+/// Real-thread churn: workers split across both sockets hammer a small
+/// shared key space through the log while a dedicated reclaimer thread
+/// flushes both replicas. Workers assert read-your-writes on thread-owned
+/// key classes (this thread is the key's only writer, so every outcome is
+/// exact) — a read served by a lagging replica, a lost log entry, or a
+/// slot-reuse mixup would break one of them.
+#[test]
+fn concurrent_churn_across_sockets_keeps_read_your_writes() {
+    const THREADS: u64 = 3;
+    const PER_CLASS: u64 = 16;
+    let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+        GraphConfig::new(THREADS as usize + 1)
+            .lazy(true)
+            .hash_index(true)
+            .reclaim(true)
+            .chunk_capacity(256),
+        ReplicaConfig::uniform(THREADS as usize, 2)
+            .logs(2)
+            .log_capacity(16)
+            .max_lag(12),
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let map = &map;
+                s.spawn(move || {
+                    let mut h = map.register(ThreadCtx::plain(t as u16));
+                    let mut x = 0x9E37_79B9u64 ^ (t << 32) | 1;
+                    for round in 0..4000u64 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = (x / 8 % PER_CLASS) * THREADS + t;
+                        h.insert(k, round);
+                        assert!(
+                            h.get(&k).is_some(),
+                            "t{t} lost its own key {k} (round {round})"
+                        );
+                        assert!(h.contains(&k), "t{t} contains({k}) false after insert");
+                        if x % 3 == 0 {
+                            assert!(h.remove(&k), "t{t} remove({k}) lied");
+                            assert_eq!(h.get(&k), None, "t{t} read {k} back after remove");
+                            assert!(!h.contains(&k), "t{t} contains({k}) true after remove");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let flusher = s.spawn(|| {
+            let ctx = ThreadCtx::plain(THREADS as u16);
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                for replica in map.replicas() {
+                    replica.shared().reclaim_flush(&ctx);
+                }
+                std::thread::yield_now();
+            }
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        flusher.join().unwrap();
+    });
+    // Post-run: both replicas agree on membership for the whole key space
+    // once a fresh handle's catch-up has drained every log. (Values may
+    // differ legitimately: one replica can resurrect an old incarnation
+    // where the other linked a recycled fresh node — see the module docs.)
+    let mut a = map.register(ThreadCtx::plain(0));
+    let mut b = map.register(ThreadCtx::plain(2));
+    assert_ne!(a.socket(), b.socket());
+    for k in 0..(THREADS * PER_CLASS) {
+        assert_eq!(a.contains(&k), b.contains(&k), "replicas disagree on key {k}");
+    }
+}

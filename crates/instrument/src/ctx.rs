@@ -26,6 +26,10 @@ struct ThreadCounters {
     index_hits: AtomicU64,
     index_misses: AtomicU64,
     index_stale: AtomicU64,
+    log_appends: AtomicU64,
+    log_lag_sum: AtomicU64,
+    replay_batches: AtomicU64,
+    replayed_ops: AtomicU64,
 }
 
 /// A read-only snapshot of one thread's scalar counters.
@@ -66,6 +70,17 @@ pub struct ThreadCounterSnapshot {
     /// Index entries rejected as stale (generation bumped, node marked,
     /// or anchor frozen) before falling back to the descent.
     pub index_stale: u64,
+    /// Operations appended to a replication operation log.
+    pub log_appends: u64,
+    /// Sum over appends of the log's observed lag (head minus the
+    /// slowest replica's completion tail) at append time;
+    /// `log_lag_sum / log_appends` is the mean backlog a write joins.
+    pub log_lag_sum: u64,
+    /// Replica replay batches this thread drained (one per lease-held
+    /// pass over a log's pending suffix).
+    pub replay_batches: u64,
+    /// Operations applied inside those replay batches.
+    pub replayed_ops: u64,
 }
 
 /// Shared statistics sink for one experiment: thread-pair matrices plus
@@ -123,6 +138,10 @@ impl AccessStats {
             index_hits: c.index_hits.load(Ordering::Relaxed),
             index_misses: c.index_misses.load(Ordering::Relaxed),
             index_stale: c.index_stale.load(Ordering::Relaxed),
+            log_appends: c.log_appends.load(Ordering::Relaxed),
+            log_lag_sum: c.log_lag_sum.load(Ordering::Relaxed),
+            replay_batches: c.replay_batches.load(Ordering::Relaxed),
+            replayed_ops: c.replayed_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -155,6 +174,10 @@ impl AccessStats {
             t.index_hits += s.index_hits;
             t.index_misses += s.index_misses;
             t.index_stale += s.index_stale;
+            t.log_appends += s.log_appends;
+            t.log_lag_sum += s.log_lag_sum;
+            t.replay_batches += s.replay_batches;
+            t.replayed_ops += s.replayed_ops;
         }
         t
     }
@@ -218,6 +241,20 @@ impl ThreadCtx {
         Self {
             id,
             stats: Some(stats),
+            cache: None,
+            chaos: None,
+        }
+    }
+
+    /// A sibling context with the same thread id and stats sink, for a
+    /// structure that needs several handles per thread (e.g. one per
+    /// replica): shared-node traffic from every sibling lands in the same
+    /// per-thread counters. The cache simulation and chaos state are
+    /// per-context (`RefCell`/`Cell`) and deliberately not forked.
+    pub fn fork(&self) -> Self {
+        Self {
+            id: self.id,
+            stats: self.stats.clone(),
             cache: None,
             chaos: None,
         }
@@ -402,6 +439,28 @@ impl ThreadCtx {
         }
     }
 
+    /// Records an append to a replication operation log together with the
+    /// lag (head minus the slowest replica's tail) the write joined.
+    #[inline]
+    pub fn record_log_append(&self, lag: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.log_appends.fetch_add(1, Ordering::Relaxed);
+            c.log_lag_sum.fetch_add(lag, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a replica replay batch of `ops` operations drained under a
+    /// replay lease.
+    #[inline]
+    pub fn record_replay_batch(&self, ops: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.replay_batches.fetch_add(1, Ordering::Relaxed);
+            c.replayed_ops.fetch_add(ops, Ordering::Relaxed);
+        }
+    }
+
     /// True when any recording sink is attached (used by structures to skip
     /// assembling record arguments on the fast path).
     #[inline]
@@ -435,6 +494,8 @@ mod tests {
         ctx.record_index_hit();
         ctx.record_index_miss();
         ctx.record_index_stale();
+        ctx.record_log_append(7);
+        ctx.record_replay_batch(5);
         assert_eq!(ctx.id(), 3);
         assert!(!ctx.is_recording());
         assert!(ctx.cache_counts().is_none());
@@ -514,6 +575,28 @@ mod tests {
         assert_eq!(totals.index_hits, 2);
         assert_eq!(totals.index_misses, 1);
         assert_eq!(totals.index_stale, 1);
+    }
+
+    #[test]
+    fn replication_counters_accumulate() {
+        let stats = AccessStats::new(2);
+        let a = ThreadCtx::recording(0, stats.clone());
+        let b = ThreadCtx::recording(1, stats.clone());
+        a.record_log_append(3);
+        a.record_log_append(5);
+        b.record_replay_batch(4);
+        b.record_replay_batch(0);
+        let t0 = stats.thread(0);
+        assert_eq!(t0.log_appends, 2);
+        assert_eq!(t0.log_lag_sum, 8);
+        let t1 = stats.thread(1);
+        assert_eq!(t1.replay_batches, 2);
+        assert_eq!(t1.replayed_ops, 4);
+        let totals = stats.totals();
+        assert_eq!(totals.log_appends, 2);
+        assert_eq!(totals.log_lag_sum, 8);
+        assert_eq!(totals.replay_batches, 2);
+        assert_eq!(totals.replayed_ops, 4);
     }
 
     #[test]

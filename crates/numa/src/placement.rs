@@ -139,6 +139,19 @@ impl Placement {
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
     }
+
+    /// Number of NUMA nodes that actually host at least one thread slot.
+    ///
+    /// With few threads a multi-socket machine fills only its first
+    /// socket(s); replica-per-socket layers size themselves off this
+    /// (one replica per *populated* node) rather than [`Self::num_nodes`],
+    /// so an idle socket doesn't pay for a replica nobody reads.
+    pub fn distinct_nodes(&self) -> usize {
+        let mut nodes: Vec<usize> = self.assignments.iter().map(|a| a.numa_node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +217,14 @@ mod tests {
         for (i, &n) in nodes.iter().enumerate() {
             assert_eq!(n, p.assignment(i).numa_node);
         }
+    }
+
+    #[test]
+    fn distinct_nodes_counts_populated_sockets_only() {
+        // 48 threads fit socket 0 of the paper machine; 96 span both.
+        assert_eq!(Placement::new(&paper(), 48).distinct_nodes(), 1);
+        assert_eq!(Placement::new(&paper(), 96).distinct_nodes(), 2);
+        assert_eq!(Placement::new(&paper(), 96).num_nodes(), 2);
     }
 
     #[test]

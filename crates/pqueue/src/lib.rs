@@ -52,9 +52,17 @@ where
     /// Builds a queue for `threads` participating threads: a lazy layered
     /// skip graph with a zero commission period (queue minima drain
     /// permanently, so deferring retirement would only lengthen the dead
-    /// prefix that `pop_min` walks).
+    /// prefix that `pop_min` walks) and the shared hash index on, so
+    /// membership tests ([`PriorityQueueHandle::contains`]) and the
+    /// `get`-then-`remove` race of `pop_approx_min` resolve in O(1)
+    /// instead of descending the skip graph.
     pub fn new(threads: usize) -> Self {
-        Self::with_config(GraphConfig::new(threads).lazy(true).commission_cycles(0))
+        Self::with_config(
+            GraphConfig::new(threads)
+                .lazy(true)
+                .commission_cycles(0)
+                .hash_index(true),
+        )
     }
 
     /// Builds a queue with an explicit shared-structure configuration.
@@ -134,6 +142,13 @@ where
             }
         }
         self.pop_min()
+    }
+
+    /// Whether `priority` is currently enqueued. With the hash index on
+    /// (the [`LayeredPriorityQueue::new`] default) this is an O(1) point
+    /// read even for priorities inserted by other threads.
+    pub fn contains(&mut self, priority: &K) -> bool {
+        self.handle.contains(priority)
     }
 
     /// Whether the queue appears empty.
@@ -218,6 +233,31 @@ mod tests {
             // 100-element queue, so never later than key 20 + width.
             assert!(k < 40, "spray returned {k}, far from the minimum");
         }
+    }
+
+    #[test]
+    fn cross_thread_contains_rides_the_hash_index() {
+        use instrument::AccessStats;
+        let pq: LayeredPriorityQueue<u64, u64> = LayeredPriorityQueue::new(2);
+        let mut producer = pq.register(ThreadCtx::plain(0));
+        for k in 0..32u64 {
+            assert!(producer.push(k, k));
+        }
+        // Thread 1 never inserted, so its thread-local layer misses and
+        // every membership test goes through the shared structure — with
+        // the index on, as O(1) hits instead of descents.
+        let stats = AccessStats::new(2);
+        let mut observer = pq.register(ThreadCtx::recording(1, stats.clone()));
+        for k in 0..32u64 {
+            assert!(observer.contains(&k), "key {k}");
+        }
+        assert!(!observer.contains(&99));
+        let t = stats.totals();
+        assert!(
+            t.index_hits >= 32,
+            "cross-thread contains bypassed the index: {} hits",
+            t.index_hits
+        );
     }
 
     #[test]

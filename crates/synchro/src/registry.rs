@@ -12,6 +12,7 @@
 //! | `skipgraph` | the skip graph without layering |
 //! | `blocked_sg` | fat level-0 blocks (B-skiplist blocking) over the lazy skip graph |
 //! | `hashed_sg` | layered map with the shared lock-free hash index (Skip Hash fast path) |
+//! | `replicated_sg` | per-socket replicas of the lazy hash-indexed map over partitioned operation logs |
 //! | `skiplist` | lock-free skip list with the relink optimization |
 //! | `skiplist_norelink` | the same without relink (ablation) |
 //! | `locked_skiplist` | optimistic lazy lock-based skip list |
@@ -27,7 +28,10 @@ use baselines::{
     NumaskSkipList, RotatingSkipList, SkipListConfig,
 };
 use numa::{Placement, Topology};
-use skipgraph::{BatchConfig, BatchedLayeredMap, BlockedSkipMap, GraphConfig, LayeredMap, SkipGraph};
+use skipgraph::{
+    BatchConfig, BatchedLayeredMap, BlockedSkipMap, GraphConfig, LayeredMap, ReplicaConfig,
+    ReplicatedLayeredMap, SkipGraph,
+};
 use std::time::Duration;
 
 /// All registry names, in the order the paper's figures list them.
@@ -42,6 +46,7 @@ pub const STRUCTURES: &[&str] = &[
     "skipgraph",
     "blocked_sg",
     "hashed_sg",
+    "replicated_sg",
     "skiplist",
     "skiplist_norelink",
     "locked_skiplist",
@@ -153,6 +158,34 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
             workload,
             instr,
         ),
+        // Per-socket node replication: one lazy hash-indexed replica per
+        // populated NUMA node, reads served replica-locally under the NR
+        // read rule, writes through membership-vector-partitioned
+        // operation logs (see `skipgraph::replicate`). Small logs + a
+        // tight lag bound keep the backpressure/helping paths hot even in
+        // short trials.
+        "replicated_sg" => {
+            let topology = Topology::detect_or_paper();
+            let placement = Placement::new(&topology, t);
+            let mut replicas = ReplicaConfig::from_placement(&placement);
+            if replicas.sockets() < 2 {
+                // Single-node hosts still exercise cross-replica staleness
+                // with a synthetic two-socket split.
+                replicas = ReplicaConfig::uniform(t, 2);
+            }
+            let replicas = replicas.logs(2).log_capacity(64).max_lag(48);
+            run_trial(
+                &ReplicatedLayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t)
+                        .lazy(true)
+                        .hash_index(true)
+                        .chunk_capacity(cap),
+                    replicas,
+                ),
+                workload,
+                instr,
+            )
+        }
         "skiplist" => run_trial(
             &LockFreeSkipList::<u64, u64>::new(
                 SkipListConfig::new(t, workload.key_space).chunk_capacity(cap),

@@ -47,6 +47,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "skipgraph",
     "blocked_sg",
     "hashed_sg",
+    "replicated_sg",
     "skiplist",
     "skiplist_norelink",
     "harris_ll",
@@ -447,6 +448,34 @@ macro_rules! with_structure {
                 // the coherence duty the bug-injection lane deletes.
                 let $map = LayeredMap::<u64, u64>::new(
                     GraphConfig::new(t).hash_index(true).chunk_capacity(cap),
+                );
+                $body
+            }
+            "replicated_sg" => {
+                // Per-socket replicas over partitioned operation logs
+                // (`skipgraph::replicate`): two synthetic sockets so reads
+                // on one replica race replays of the other, with a tiny
+                // log and lag bound so schedules reach the wraparound and
+                // backpressure/helping paths.
+                let sockets = if t >= 2 { 2 } else { 1 };
+                // The bug-injection build also compiles the lazy-remove
+                // and index-coherence faults into lazy/indexed configs;
+                // build the replicas over the plain eager graph there so
+                // the severed read-side tail-wait is the only live fault
+                // in this lane (each injected fault has its own lane).
+                #[cfg(feature = "bug-injection")]
+                let gcfg = GraphConfig::new(t).chunk_capacity(cap);
+                #[cfg(not(feature = "bug-injection"))]
+                let gcfg = GraphConfig::new(t)
+                    .lazy(true)
+                    .hash_index(true)
+                    .chunk_capacity(cap);
+                let $map = skipgraph::ReplicatedLayeredMap::<u64, u64>::new(
+                    gcfg,
+                    skipgraph::ReplicaConfig::uniform(t, sockets)
+                        .logs(2)
+                        .log_capacity(16)
+                        .max_lag(12),
                 );
                 $body
             }

@@ -144,6 +144,74 @@ fn injected_stale_index_read_is_caught_and_shrunk() {
 }
 
 #[test]
+fn injected_stale_replica_read_is_caught_and_shrunk() {
+    // The replication layer's injected fault: `catch_up_for_read` loads
+    // the mapped log's head and then returns without waiting for the
+    // local replica's tail to pass it — the NR read rule severed. Writes
+    // still linearize (every result is computed in log order on the home
+    // replica), so only reads can lie: a thread whose socket has no
+    // pending write of its own serves `contains` from whatever prefix
+    // its replica happens to have applied, missing updates (or even the
+    // preload) already completed through the log. Three threads on two
+    // synthetic sockets put thread 2 alone on socket 1, so its reads race
+    // the other socket's completed writes. PCT schedules (not round-robin:
+    // the strict rotation parks the lone reader inside other threads'
+    // replays often enough to keep its replica accidentally fresh) let a
+    // remote write complete while the reader's replica still lags.
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 8,
+        ops_per_thread: 30,
+        update_pct: 70,
+        preload: true,
+        seed: 5,
+    };
+    let mut caught = None;
+    for det_seed in [1u64, 2, 3] {
+        let det = DetConfig::new(
+            det_seed,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        if let Err(report) = stress_named_det("replicated_sg", &cfg, &det) {
+            caught = Some(report);
+            break;
+        }
+    }
+    let report = caught.expect("stale replica read injection went undetected on every schedule");
+
+    let (shrunk_det, _trace) = report.schedule.clone().expect("det report without schedule");
+    assert!(matches!(shrunk_det.policy, Policy::Replay { .. }));
+    assert!(!report.failure.history.is_empty());
+    // The severed tail-wait only affects the read path, so the violating
+    // history must contain the stale read itself.
+    assert!(
+        report.failure.history.iter().any(|r| r.op == Op::Contains),
+        "shrunk history has no contains: {report}"
+    );
+
+    let total: usize = report.plans.iter().map(Vec::len).sum();
+    let original = cfg.threads as usize * cfg.ops_per_thread;
+    assert!(
+        total <= original / 2,
+        "shrinker left {total} of {original} ops: {report}"
+    );
+
+    let (records, _) =
+        records_named_det("replicated_sg", &report.config, &report.plans, &shrunk_det);
+    assert!(
+        synchro::stress::check_records(&records, &report.config).is_err(),
+        "shrunk report does not reproduce the violation:\n{report}"
+    );
+
+    let text = format!("{report}");
+    assert!(text.contains("replicated_sg"));
+    assert!(text.contains("replay:"));
+}
+
+#[test]
 fn injected_blocked_lost_insert_is_caught_and_shrunk() {
     // The blocked map's injected fault: an insert that observes its block
     // frozen at publish time reports success without ever setting the

@@ -239,6 +239,43 @@ fn hashed_index_pct_and_round_robin_linearize() {
     }
 }
 
+/// Deterministic-schedule stress of the per-socket replication layer:
+/// 4 threads on 2 synthetic sockets (`replicated_sg` builds a tiny
+/// 16-slot log with a lag bound of 12, so schedules reach wraparound and
+/// backpressure helping). The scheduler interleaves appends, replay-lease
+/// handoffs, the NR read catch-up, and the slot seq/result stamps — a
+/// read served from a replica whose tail had not passed the mapped log's
+/// head (or a lost/duplicated outcome across slot reuse) would surface as
+/// a non-linearizable per-key history.
+#[test]
+fn replicated_pct_and_round_robin_linearize() {
+    let cfg = StressConfig {
+        threads: 4,
+        key_space: 10,
+        ops_per_thread: 25,
+        update_pct: 70,
+        preload: true,
+        seed: 17,
+    };
+    let base = env_seed(900);
+    for s in 0..4u64 {
+        let det = DetConfig::new(
+            base + s,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        stress_named_det("replicated_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("replicated_sg pct seed {}: {e}", base + s));
+    }
+    for quantum in [1u32, 3, 7] {
+        let det = DetConfig::new(base, Policy::RoundRobin { quantum });
+        stress_named_det("replicated_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("replicated_sg round-robin quantum {quantum}: {e}"));
+    }
+}
+
 /// Long-running sweep; run explicitly with
 /// `cargo test --features deterministic -- --ignored long_det_sweep`.
 #[test]
