@@ -12,8 +12,9 @@
 //!   traffic on the traversal itself. Consistency costs exactly one load
 //!   of the mapped log's shared `head` word: if the local replica's
 //!   completion tail trails it, the reader catches the replica up first
-//!   (NR's read rule), which preserves per-key linearizability across
-//!   sockets.
+//!   (NR's read rule), which makes *membership and operation outcomes*
+//!   linearizable across sockets. Stored values are weaker — see
+//!   [`ReplicatedHandle::get`].
 //! * **Writes** append to a bounded MPSC *operation log* and return once
 //!   the writer's home replica has applied the op (read-your-writes). Any
 //!   thread may *replay* any replica: it wins the per-(replica, log)
@@ -22,8 +23,15 @@
 //!   hint-chained combined path — the same sorted-run machinery the flat
 //!   combiner uses, including the one-pass bulk index publish. The sort is
 //!   stable, so same-key operations keep log order and every replica
-//!   applies an identical per-key history; set-semantics outcomes depend
-//!   only on that history, so replicas never diverge.
+//!   applies an identical per-key history; set-semantics *outcomes*
+//!   depend only on that history, so replicas always agree on the key
+//!   set and every writer gets the same answer everywhere. Stored
+//!   values can still differ between replicas after a remove+re-insert
+//!   cycle: whether the re-insert resurrects the lazily-removed node
+//!   (keeping its old value — `insert_helper` never rewrites it) or
+//!   links a fresh one depends on replica-local retirement timing, so
+//!   [`ReplicatedHandle::get`] only promises a value that *some*
+//!   successful insert of that key supplied.
 //! * **Multi-log partitioning**: keys are hashed onto `logs` independent
 //!   logs by their membership-vector list family
 //!   ([`crate::mvec::list_suffix`] of the key hash at level `log2 logs`) —
@@ -397,6 +405,16 @@ where
 
     /// Point lookup served by the socket-local replica (see
     /// [`ReplicatedHandle::contains`]).
+    ///
+    /// Presence (`Some` vs `None`) is linearizable across sockets, but
+    /// the value itself is only guaranteed to come from *some* successful
+    /// insert of `key`: after a remove+re-insert cycle a replica that
+    /// resurrects the lazily-removed node serves the value of an earlier
+    /// insert (set-semantics inserts never overwrite a stored value),
+    /// while one that links a fresh node serves the latest — which you
+    /// get depends on replica-local retirement timing. Workloads that
+    /// need cross-socket value agreement should keep values immutable
+    /// per key or key them by version.
     pub fn get(&mut self, key: &K) -> Option<V> {
         let li = self.map.log_of(key);
         self.catch_up_for_read(li);
@@ -426,6 +444,7 @@ where
         // backlog — this is also what makes slot reuse safe, since a
         // claimed position implies every tail passed its previous
         // occupant.
+        let mut spins = 0u32;
         let pos = loop {
             // `min` before `head`: tails never pass the head and the head
             // only grows, so this order guarantees `min <= head` (the
@@ -436,6 +455,16 @@ where
             if head - min >= map.rcfg.max_lag {
                 let lagger = log.laggiest();
                 self.try_replay(li, lagger);
+                // The lagger's lease may be held by a descheduled thread:
+                // try_replay then returns immediately, so back off the
+                // same way the result-wait and catch-up loops do instead
+                // of starving the holder on oversubscribed cores.
+                spins = spins.wrapping_add(1);
+                if spins < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
                 continue;
             }
             if log.head.0.compare_exchange(head, head + 1).is_ok() {
@@ -461,7 +490,28 @@ where
                 slot.result.store(0); // consume-ack frees the slot's result
                 return r & 1 == 1;
             }
-            self.try_replay(li, self.socket);
+            // Help replay the home replica — but take the lease inline and
+            // re-check our own result *after* winning it, before draining.
+            // This closes a self-deadlock: our result may already be
+            // published (a remote drain advanced the home tail past `pos`
+            // after the stale load above), and once every tail passes
+            // `pos` the slot can be reclaimed by a new occupant a full
+            // wrap later. If that occupant is also homed here, drain's
+            // publish would spin on `slot.result == 0` waiting for a
+            // consume only we can perform — while we sit inside drain.
+            // Consuming first makes that wait impossible for us, and while
+            // we hold the home lease nobody else can publish our result,
+            // so the pre-drain check cannot go stale.
+            if log.leases[self.socket].0.compare_exchange(0, self.tid + 1).is_ok() {
+                let r = slot.result.load();
+                if r >> 1 == pos + 1 {
+                    slot.result.store(0);
+                    log.leases[self.socket].0.store(0);
+                    return r & 1 == 1;
+                }
+                self.drain(li, self.socket);
+                log.leases[self.socket].0.store(0);
+            }
             spins = spins.wrapping_add(1);
             if spins < 16 {
                 std::hint::spin_loop();
@@ -567,9 +617,13 @@ where
                     };
                     let slot = &log.slots[pos & log.mask];
                     // The previous occupant's outcome (one wrap back) must
-                    // be consumed before this one lands; its writer is
-                    // live in its own result-wait, so this terminates —
-                    // but that writer may be descheduled, so yield to it.
+                    // be consumed before this one lands. That writer is
+                    // never *us*: a writer helping from its result-wait
+                    // consumes its own published result right after taking
+                    // this lease, before draining (see `update`), so the
+                    // pending consumer is a different, live thread in its
+                    // own result-wait and this terminates — but it may be
+                    // descheduled, so yield to it.
                     let mut spins = 0u32;
                     while slot.result.load() != 0 {
                         spins = spins.wrapping_add(1);
