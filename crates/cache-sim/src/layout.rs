@@ -156,6 +156,17 @@ impl BlockedLayout {
         let span = (self.cap * self.entry_bytes).div_ceil(LINE_BYTES);
         1 + probes.min(span)
     }
+
+    /// Lines a point op pays when a cached *anchor* hint validates (the
+    /// anchor-granular local-map hit): one line for the anchor header —
+    /// the generation word, key, and level-0 link all live there — plus
+    /// the in-block lookup. No tower descent, no level-0 walk: the whole
+    /// per-key cost collapses to the block probe, which is what makes the
+    /// anchor (not the key) the right caching granule — the same cached
+    /// line amortizes over every key the block covers.
+    pub fn anchor_hit_lines(&self, occupancy: f64) -> usize {
+        1 + self.lookup_lines(occupancy)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +263,28 @@ mod tests {
                 assert!(lines >= 2 && lines <= span, "cap {cap} occ {occ}: {lines}");
             }
         }
+    }
+
+    /// The anchor-hit cost must undercut even one tower-descent step plus
+    /// the same block probe: a validated anchor hint pays exactly one
+    /// extra line (the anchor header) over the raw in-block lookup,
+    /// independent of map size — whereas a descent scales with log(n).
+    #[test]
+    fn anchor_hit_is_one_line_over_the_block_probe() {
+        for cap in [2usize, 4, 8, 16] {
+            let b = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, cap);
+            for occ in [0.25, 0.5, 1.0] {
+                assert_eq!(
+                    b.anchor_hit_lines(occ),
+                    1 + b.lookup_lines(occ),
+                    "cap {cap} occ {occ}"
+                );
+            }
+        }
+        // And it never exceeds the anchor's own footprint plus the whole
+        // block: the hit path touches no third structure.
+        let b8 = BlockedLayout::new(NodeLayout::truncated(HEADER, SLOT), ENTRY, 8);
+        assert!(b8.anchor_hit_lines(1.0) <= b8.anchor_lines(1) + b8.block_bytes().div_ceil(LINE_BYTES));
     }
 
     #[test]

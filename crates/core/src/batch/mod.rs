@@ -22,8 +22,8 @@
 //! the cooperative scheduler interleaves publication, combining, and
 //! write-back at the same replayable granularity as the structure itself.
 
-use crate::graph::{HintChain, NodeRef};
-use crate::layered::{CombiningHandle, LayeredHandle, LayeredMap};
+use crate::graph::NodeRef;
+use crate::layered::{CombiningHandle, LayeredMap};
 use crate::params::GraphConfig;
 use crate::sync::FacadeAtomicUsize;
 use instrument::ThreadCtx;
@@ -133,18 +133,41 @@ impl BatchConfig {
 #[repr(align(128))]
 struct Padded<T>(T);
 
+/// A structure the flat-combining executor can drive: anything that owns a
+/// thread context and can execute one key-sorted run of batch operations.
+/// [`crate::layered::LayeredHandle`] implements it with the per-key
+/// hint-chained ops; [`crate::graph::BlockedHandle`] with the
+/// anchor-granular grouped/bulk-fill path.
+pub trait CombinerTarget<K, V> {
+    /// The per-operation result type written back through the slots.
+    type Outcome;
+
+    /// The recording context of the combining thread.
+    fn ctx(&self) -> &ThreadCtx;
+
+    /// Executes `work` — `(slot, op_index, op)` triples sorted by key
+    /// (stable, so same-key ops keep per-slot submission order) — and
+    /// delivers each outcome through `out` with the triple's identifiers.
+    /// Every triple must be answered exactly once.
+    fn combined_run(
+        &mut self,
+        work: Vec<(usize, usize, BatchOp<K, V>)>,
+        out: &mut dyn FnMut(usize, usize, Self::Outcome),
+    );
+}
+
 /// One thread's publication slot. The owner has exclusive access to `req`
 /// and `resp` while `state` is `EMPTY` or `DONE`; the combiner has
 /// exclusive access between observing `PENDING` (Acquire) and storing
 /// `DONE` (Release). A classic SPSC handoff: every transfer of access
 /// rides a Release store observed by an Acquire load.
-struct Slot<K, V> {
+struct Slot<K, V, O> {
     state: FacadeAtomicUsize,
     req: UnsafeCell<Vec<BatchOp<K, V>>>,
-    resp: UnsafeCell<Vec<BatchOutcome<K, V>>>,
+    resp: UnsafeCell<Vec<O>>,
 }
 
-impl<K, V> Slot<K, V> {
+impl<K, V, O> Slot<K, V, O> {
     fn new() -> Self {
         Self {
             state: FacadeAtomicUsize::new(EMPTY),
@@ -155,18 +178,20 @@ impl<K, V> Slot<K, V> {
 }
 
 /// One socket's publication array plus its combiner lease.
-struct Bank<K, V> {
+struct Bank<K, V, O> {
     /// `0` = free; `tid + 1` = held by thread `tid`.
     lease: Padded<FacadeAtomicUsize>,
-    slots: Vec<Padded<Slot<K, V>>>,
+    slots: Vec<Padded<Slot<K, V, O>>>,
     /// Owning thread of each slot (diagnostics).
     members: Vec<u16>,
 }
 
 /// The flat-combining executor: per-socket publication banks over a
 /// [`crate::graph::SkipGraph`]. See the module docs for the protocol.
-pub struct BatchExecutor<K, V> {
-    banks: Vec<Bank<K, V>>,
+/// Generic over the outcome type `O` of the [`CombinerTarget`] driving it
+/// (defaults to the layered map's [`BatchOutcome`]).
+pub struct BatchExecutor<K, V, O = BatchOutcome<K, V>> {
+    banks: Vec<Bank<K, V, O>>,
     /// Thread id → (bank, slot-within-bank).
     addr: Vec<(u16, u16)>,
 }
@@ -174,14 +199,17 @@ pub struct BatchExecutor<K, V> {
 // The UnsafeCell payloads are handed off between owner and combiner under
 // the slot-state protocol documented on `Slot`; K/V (and the raw node
 // pointers in outcomes, which are arena-backed for the graph's lifetime)
-// cross threads, hence the Send + Sync bounds.
-unsafe impl<K: Send + Sync, V: Send + Sync> Send for BatchExecutor<K, V> {}
-unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BatchExecutor<K, V> {}
+// cross threads, hence the Send + Sync bounds. `O` is deliberately
+// unbounded: the crate's outcome types carry shared-node pointers that are
+// not `Send` on their own but stay dereferenceable for the graph's
+// lifetime, which is exactly the handoff the slot protocol brokers.
+unsafe impl<K: Send + Sync, V: Send + Sync, O> Send for BatchExecutor<K, V, O> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, O> Sync for BatchExecutor<K, V, O> {}
 
-impl<K, V> BatchExecutor<K, V> {
+impl<K, V, O> BatchExecutor<K, V, O> {
     /// Builds the slot banks for `config`.
     pub fn new(config: &BatchConfig) -> Self {
-        let mut banks: Vec<Bank<K, V>> = (0..config.sockets())
+        let mut banks: Vec<Bank<K, V, O>> = (0..config.sockets())
             .map(|_| Bank {
                 lease: Padded(FacadeAtomicUsize::new(0)),
                 slots: Vec::new(),
@@ -205,7 +233,7 @@ impl<K, V> BatchExecutor<K, V> {
     }
 }
 
-impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
+impl<K: Ord, V, O> BatchExecutor<K, V, O> {
     /// Publishes `ops` to the calling thread's slot and returns their
     /// outcomes in submission order. The calling thread spin-waits on its
     /// slot and, whenever its socket's lease is free, takes it and combines
@@ -213,18 +241,19 @@ impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
     /// long as scheduled threads run: a published slot is either drained by
     /// the current lease holder's successor scan or self-combined.
     ///
-    /// `handle` is the caller's direct layered handle: if the caller
-    /// becomes the combiner, each operation of the sorted run executes via
-    /// [`combined_op`](crate::layered::LayeredHandle) — seeded by the
-    /// further of the chain frontier and the combiner's local-map
-    /// predecessor — and fresh nodes are allocated from the *combiner's*
-    /// arena (same socket as the submitter by construction, which is the
-    /// point) under the combiner's membership vector.
-    pub fn submit(
-        &self,
-        handle: &mut LayeredHandle<'_, K, V>,
-        ops: Vec<BatchOp<K, V>>,
-    ) -> Vec<BatchOutcome<K, V>> {
+    /// `handle` is the caller's direct handle to the target structure: if
+    /// the caller becomes the combiner, the whole drained union executes
+    /// as one sorted run through [`CombinerTarget::combined_run`] — for a
+    /// layered handle, per-op hint chains seeded by the further of the
+    /// chain frontier and the combiner's local-map predecessor; for a
+    /// blocked handle, anchor-granular groups with bulk block-fill — and
+    /// fresh nodes are allocated from the *combiner's* arena (same socket
+    /// as the submitter by construction, which is the point) under the
+    /// combiner's membership vector.
+    pub fn submit<T>(&self, handle: &mut T, ops: Vec<BatchOp<K, V>>) -> Vec<O>
+    where
+        T: CombinerTarget<K, V, Outcome = O>,
+    {
         self.submit_tracked(handle, ops).0
     }
 
@@ -233,11 +262,14 @@ impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
     /// results through the slot write-back of another thread's combining
     /// pass (`false`). Self-combined operations already went through the
     /// caller's own layered handle, so the caller must not re-index them.
-    pub(crate) fn submit_tracked(
+    pub(crate) fn submit_tracked<T>(
         &self,
-        handle: &mut LayeredHandle<'_, K, V>,
+        handle: &mut T,
         ops: Vec<BatchOp<K, V>>,
-    ) -> (Vec<BatchOutcome<K, V>>, bool) {
+    ) -> (Vec<O>, bool)
+    where
+        T: CombinerTarget<K, V, Outcome = O>,
+    {
         if ops.is_empty() {
             return (Vec::new(), true);
         }
@@ -292,15 +324,18 @@ impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
 
     /// Drains every pending slot of `bank`, executes the union (plus the
     /// combiner's unpublished `own` operations, if any) as one key-sorted
-    /// hint-chained run through the combiner's layered handle, and writes
-    /// the outcomes back. Returns the outcomes of `own` in submission
-    /// order. Must only be called while holding `bank`'s lease.
-    fn combine(
+    /// run through the combiner's handle, and writes the outcomes back.
+    /// Returns the outcomes of `own` in submission order. Must only be
+    /// called while holding `bank`'s lease.
+    fn combine<T>(
         &self,
-        bank: &Bank<K, V>,
-        handle: &mut LayeredHandle<'_, K, V>,
+        bank: &Bank<K, V, O>,
+        handle: &mut T,
         own: Option<Vec<BatchOp<K, V>>>,
-    ) -> Option<Vec<BatchOutcome<K, V>>> {
+    ) -> Option<Vec<O>>
+    where
+        T: CombinerTarget<K, V, Outcome = O>,
+    {
         /// Pseudo slot index for the combiner's own unpublished run.
         const OWN: usize = usize::MAX;
         let had_own = own.is_some();
@@ -330,32 +365,26 @@ impl<K: Ord + Hash + Clone, V: Clone> BatchExecutor<K, V> {
             return had_own.then(Vec::new);
         }
         // Sorted run: ascending keys let every operation resume the
-        // previous one's predecessor frontier. The sort is stable, so
-        // same-key operations keep their per-slot submission order.
+        // previous one's frontier (per-key hint chain or block anchor,
+        // per the target). The sort is stable, so same-key operations
+        // keep their per-slot submission order.
         work.sort_by(|a, b| a.2.key().cmp(b.2.key()));
         let total = work.len() as u64;
         // Per-slot outcome buffers, indexed back into submission order.
         let mut buf_of = vec![usize::MAX; bank.slots.len()];
-        let mut bufs: Vec<Vec<Option<BatchOutcome<K, V>>>> = Vec::with_capacity(drained.len());
+        let mut bufs: Vec<Vec<Option<O>>> = Vec::with_capacity(drained.len());
         for (di, &(si, count)) in drained.iter().enumerate() {
             buf_of[si] = di;
             bufs.push((0..count).map(|_| None).collect());
         }
-        let mut own_out: Vec<Option<BatchOutcome<K, V>>> =
-            (0..own_len).map(|_| None).collect();
-        let mut chain = HintChain::new();
-        // Freshly linked nodes defer their index publish; the whole sorted
-        // run goes into the hash index in one pass after execution.
-        let mut publishes = Vec::new();
-        for (si, oi, op) in work {
-            let out = handle.combined_op(op, &mut chain, &mut publishes);
+        let mut own_out: Vec<Option<O>> = (0..own_len).map(|_| None).collect();
+        handle.combined_run(work, &mut |si, oi, out| {
             if si == OWN {
                 own_out[oi] = Some(out);
             } else {
                 bufs[buf_of[si]][oi] = Some(out);
             }
-        }
-        handle.publish_run(&publishes);
+        });
         // Write-back phase: per slot, restore submission order and release
         // with DONE.
         for (buf, &(si, _)) in bufs.into_iter().zip(drained.iter()) {

@@ -62,8 +62,36 @@
 //! or through retirement when reclamation is on), so cached
 //! [`NodeRef`]-based block hints fail validation instead of resurrecting
 //! a migrated block.
+//!
+//! Every outcome of a frozen block is canonicalized through its *forward
+//! word*: a replacement chain head (any pointer `> 1`), or the [`MERGED`]
+//! sentinel claiming the no-survivor unlink. Helpers that lose the CAS
+//! adopt the winner's decision, which is what lets a bulk fill publish an
+//! arbitrary-length chain through the same protocol.
+//!
+//! # Anchor-granular layering (PR 9)
+//!
+//! The *anchor* — not the key — is the unit of locality:
+//!
+//! * [`BlockedHandle`] keeps a per-thread **anchor cache** (a
+//!   [`BTreeLocalMap`] keyed by anchor key): one generation-validated
+//!   entry serves point ops for every key its block covers, validated
+//!   gen → unmarked → covering on use, evicted on observed split/merge.
+//! * [`BlockedHandle::run_sorted`] executes a key-sorted combiner run
+//!   **grouped by target anchor**: each group resolves its block once
+//!   (directly or by a short level-0 walk from the previous group's
+//!   anchor — the anchor-granular hint chain) and applies its ops
+//!   in-block.
+//! * [`BlockedSkipMap::bulk_apply`] turns long fresh ascending insert
+//!   runs into whole pre-filled blocks, published as one chain through
+//!   the forward word ([`BlockPolicy::fill_target`] entries each) instead
+//!   of insert-then-split churn.
+//! * [`BlockPolicy`] sweeps the split point (half vs leave-behind), the
+//!   tombstone-clog merge threshold, and the bulk fill target.
 
 use super::{NodePtr, NodeRef, PinGuard, SkipGraph};
+use crate::batch::BatchOp;
+use crate::local::{BTreeLocalMap, LocalMap};
 use crate::node::Node;
 use crate::params::GraphConfig;
 use crate::sync::{FacadeAtomicUsize, TagPtr};
@@ -80,6 +108,11 @@ pub const MIN_BLOCK_CAP: usize = 2;
 /// Largest supported blocking factor (present/claimed bitmaps are 16 bits
 /// each).
 pub const MAX_BLOCK_CAP: usize = 16;
+
+/// Forward-word sentinel claiming the merge outcome (no replacement; the
+/// install unlinks). Distinguishable from real replacement pointers, which
+/// are 8-aligned node addresses.
+const MERGED: usize = 1;
 
 const CLAIMED_SHIFT: u32 = 16;
 const FROZEN: usize = 1 << 32;
@@ -126,6 +159,63 @@ pub(crate) fn block_layout_bytes<K, V>(cap: usize) -> usize {
 
 type BNode<K> = Node<K, ()>;
 type BPtr<K> = NodePtr<K, ()>;
+
+/// Tunable block-lifecycle policy: where a split cuts, when a clogged
+/// block compacts, and how full bulk-filled fresh blocks are born. The
+/// default reproduces the pre-policy behaviour exactly (half split,
+/// compaction only on empty, bulk fills at capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPolicy {
+    /// Percentage of a split's survivors kept in the *left* (lower)
+    /// replacement block, in `1..=99`. 50 is the classic half split;
+    /// higher values leave the left block fuller ("leave-behind"), which
+    /// suits ascending loads where the right block keeps absorbing.
+    pub split_left_pct: u8,
+    /// A block whose live count drops to this threshold *and* whose
+    /// slots are all claimed (so it cannot absorb another insert anyway)
+    /// is frozen and compacted into a fresh block with free slots. 0
+    /// compacts only fully-emptied blocks (they unlink instead).
+    pub merge_threshold: usize,
+    /// Entries per block a combiner bulk fill packs, in
+    /// `1..=block_capacity`. Full blocks maximize load density but split
+    /// on the very next insert; leaving headroom trades bytes/key for
+    /// write absorption.
+    pub fill_target: usize,
+}
+
+impl BlockPolicy {
+    /// The default policy for a map with `cap` slots per block.
+    pub fn default_for(cap: usize) -> Self {
+        Self {
+            split_left_pct: 50,
+            merge_threshold: 0,
+            fill_target: cap,
+        }
+    }
+
+    /// The index a split of `len` sorted survivors cuts at (size of the
+    /// left block), always leaving both sides nonempty.
+    fn split_point(&self, len: usize) -> usize {
+        (len * self.split_left_pct as usize)
+            .div_ceil(100)
+            .clamp(1, len - 1)
+    }
+
+    fn validate(&self, cap: usize) {
+        assert!(
+            (1..=99).contains(&self.split_left_pct),
+            "split_left_pct must be in 1..=99"
+        );
+        assert!(
+            self.merge_threshold < cap,
+            "merge_threshold must be below the block capacity"
+        );
+        assert!(
+            (1..=cap).contains(&self.fill_target),
+            "fill_target must be in 1..=block capacity"
+        );
+    }
+}
 
 /// A typed view of one anchor's trailing block region. Purely a pointer
 /// package: carries no lifetime, so callers must hold a reclamation pin
@@ -215,6 +305,7 @@ pub struct BlockedStats {
 pub struct BlockedSkipMap<K, V> {
     graph: SkipGraph<K, ()>,
     cap: usize,
+    policy: BlockPolicy,
     /// Drives deterministic anchor tower heights in sparse mode: the
     /// `n`-th anchor gets height `trailing_zeros(n)` (capped), i.e. the
     /// geometric distribution without per-thread RNG state.
@@ -242,6 +333,19 @@ where
     where
         K: std::hash::Hash,
     {
+        Self::with_policy(config, cap, BlockPolicy::default_for(cap))
+    }
+
+    /// [`Self::new`] with an explicit block-lifecycle [`BlockPolicy`]
+    /// (split point, compaction threshold, bulk-fill occupancy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `cap` or policy (see [`BlockPolicy`]).
+    pub fn with_policy(config: GraphConfig, cap: usize, policy: BlockPolicy) -> Self
+    where
+        K: std::hash::Hash,
+    {
         assert!(
             (MIN_BLOCK_CAP..=MAX_BLOCK_CAP).contains(&cap),
             "block capacity must be in {MIN_BLOCK_CAP}..={MAX_BLOCK_CAP}"
@@ -251,12 +355,14 @@ where
             "block entries must be at most 8-aligned"
         );
         debug_assert_eq!(std::mem::size_of::<usize>(), 8);
+        policy.validate(cap);
         let config = config
             .lazy(true)
             .block_bytes(block_layout_bytes::<K, V>(cap));
         Self {
             graph: SkipGraph::new_hashed(config),
             cap,
+            policy,
             anchor_seq: FacadeAtomicUsize::new(1),
             _values: PhantomData,
         }
@@ -265,6 +371,11 @@ where
     /// The blocking factor the map was built with.
     pub fn block_capacity(&self) -> usize {
         self.cap
+    }
+
+    /// The block-lifecycle policy the map was built with.
+    pub fn policy(&self) -> BlockPolicy {
+        self.policy
     }
 
     /// The inner skip graph (anchors only; entries live in the blocks).
@@ -335,6 +446,43 @@ where
             }
             cur = node.load_next(0, ctx).ptr();
         }
+    }
+
+    /// The block responsible for `key`, found by walking the raw level-0
+    /// chain *forward* from `start` — a known anchor with key `<= key` —
+    /// instead of descending from the head. This is the anchor-granular
+    /// hint chain: a sorted run resolves its first anchor once and each
+    /// later group pays only the hops between consecutive blocks. Marked
+    /// anchors are candidates like in [`Self::covering_anchor`] (a frozen
+    /// block still owns its keys until replaced). Returns the number of
+    /// anchors hopped alongside the result; `None` only if `start` no
+    /// longer reaches a covering anchor (caller falls back to a descent).
+    fn covering_anchor_from(
+        &self,
+        start: NonNull<BNode<K>>,
+        key: &K,
+        ctx: &ThreadCtx,
+    ) -> (Option<NonNull<BNode<K>>>, u64) {
+        debug_assert!(unsafe { start.as_ref() }.cmp_key(key) != CmpOrdering::Greater);
+        let mut best: Option<NonNull<BNode<K>>> = None;
+        let mut hops = 0u64;
+        let mut cur = start.as_ptr();
+        loop {
+            let node = unsafe { &*cur };
+            if node.is_tail() || node.cmp_key(key) == CmpOrdering::Greater {
+                break;
+            }
+            if node.is_data() {
+                best = Some(unsafe { NonNull::new_unchecked(cur) });
+            }
+            let next = node.load_next(0, ctx).ptr();
+            if next.is_null() {
+                break;
+            }
+            hops += 1;
+            cur = next;
+        }
+        (best, hops)
     }
 
     /// Helps every dying data anchor on a marked level-0 chain
@@ -467,19 +615,18 @@ where
                 if is_frozen(w) {
                     // The block froze between claim and publish; the claim
                     // dies with it (survivor sets read present bits only).
+                    //
+                    // Injected bug (default policy only, so each stress
+                    // lane carries exactly one live fault): skip the
+                    // post-split recheck and report success for an entry
+                    // that never became present — the lost-insert window
+                    // the differential test wall must catch.
                     #[cfg(feature = "bug-injection")]
-                    {
-                        // Injected bug: skip the post-split recheck and
-                        // report success for an entry that never became
-                        // present — the lost-insert window the
-                        // differential test wall must catch.
+                    if self.policy.merge_threshold == 0 {
                         return (true, None);
                     }
-                    #[allow(unreachable_code)]
-                    {
-                        self.help_split(anchor, ctx);
-                        break;
-                    }
+                    self.help_split(anchor, ctx);
+                    break;
                 }
                 if let Some(i) = self.scan_present(&blk, w, &key) {
                     debug_assert_ne!(i, slot);
@@ -545,9 +692,15 @@ where
                         // so readers stop resolving to this slot.
                         self.index_invalidate_slot(key, anchor);
                         let now = w & !present_bit(i);
-                        if present_bits(now) == 0 {
-                            // Emptied the block: opportunistically freeze
-                            // it so the merge path unlinks the dead anchor.
+                        let live = present_bits(now).count_ones() as usize;
+                        let clogged = live <= self.policy.merge_threshold
+                            && !claimed_bits(now) & slot_mask(self.cap) == 0;
+                        if live == 0 || clogged {
+                            // Emptied the block (unlink it via the merge
+                            // path), or tombstones clogged every slot with
+                            // few survivors left (freeze so help_split
+                            // compacts them into a fresh block with free
+                            // slots — the policy's merge threshold).
                             // Losing this CAS means a writer claimed a slot
                             // (or froze it first) — either way, not ours.
                             if blk.control().compare_exchange(now, now | FROZEN).is_ok() {
@@ -598,26 +751,14 @@ where
                 self.help_split(anchor, ctx);
                 continue;
             }
-            // Fast path: branch-free binary search over the sorted prefix
-            // laid down when the block was built. The halving loop has no
-            // data-dependent branch — the select compiles to a cmov, so
-            // the branch predictor never trains on key order; one equality
-            // check at the end decides the outcome.
+            // Fast path: probe the sorted prefix laid down when the block
+            // was built, then one equality check decides the outcome.
             let n = prefix_len(w);
             if n > 0 {
-                let (mut base, mut size) = (0usize, n);
-                while size > 1 {
-                    let half = size / 2;
-                    let probe = base + half;
-                    base = if unsafe { blk.key_at(probe) } <= *key {
-                        probe
-                    } else {
-                        base
-                    };
-                    size -= half;
-                }
-                if unsafe { blk.key_at(base) } == *key && w & present_bit(base) != 0 {
-                    return (Some(unsafe { blk.read(base) }.1), Some(anchor));
+                if let Some(base) = Self::prefix_probe(&blk, n, key) {
+                    if unsafe { blk.key_at(base) } == *key && w & present_bit(base) != 0 {
+                        return (Some(unsafe { blk.read(base) }.1), Some(anchor));
+                    }
                 }
                 // Absent from the prefix, or tombstoned there; a
                 // re-insert may still sit in the unsorted tail.
@@ -630,6 +771,47 @@ where
             }
             return (None, Some(anchor));
         }
+    }
+
+    /// Position of the greatest sorted-prefix key `<= key` (the only slot
+    /// that can hold `key`), or `None` when every prefix key exceeds it.
+    ///
+    /// Default: branch-free binary search — the halving loop has no
+    /// data-dependent branch (the select compiles to a cmov), so the
+    /// branch predictor never trains on key order.
+    #[cfg(not(feature = "swar-probe"))]
+    #[inline]
+    fn prefix_probe(blk: &Blk<K, V>, n: usize, key: &K) -> Option<usize> {
+        let (mut base, mut size) = (0usize, n);
+        while size > 1 {
+            let half = size / 2;
+            let probe = base + half;
+            base = if unsafe { blk.key_at(probe) } <= *key {
+                probe
+            } else {
+                base
+            };
+            size -= half;
+        }
+        (unsafe { blk.key_at(0) } <= *key).then_some(base)
+    }
+
+    /// SWAR-style rank probe (`--features swar-probe`): one data-
+    /// independent pass that *counts* prefix keys `<= key` instead of
+    /// halving. Every comparison result is consumed as an integer, so the
+    /// whole loop is branchless and, for machine-word keys, amenable to
+    /// SIMD auto-vectorization (the comparisons of a short prefix become
+    /// one packed-compare + popcount-style reduction). Wins over binary
+    /// search on small prefixes where the halving loop's serial
+    /// dependency chain dominates.
+    #[cfg(feature = "swar-probe")]
+    #[inline]
+    fn prefix_probe(blk: &Blk<K, V>, n: usize, key: &K) -> Option<usize> {
+        let mut rank = 0usize;
+        for i in 0..n {
+            rank += (unsafe { blk.key_at(i) } <= *key) as usize;
+        }
+        rank.checked_sub(1)
     }
 
     /// Index of the present slot holding `key` under control word `w`.
@@ -749,16 +931,27 @@ where
 
         // (c) Resolve the canonical replacement through the forward word:
         // first publisher wins, losers free their never-published builds.
-        let replacement: Option<NonNull<BNode<K>>> = if survivors.is_empty() {
-            None // merge: the install is a plain unlink
-        } else {
+        // *Every* outcome goes through the word — a merge (no survivors)
+        // claims it with [`MERGED`] — so a bulk fill that wins the word
+        // with a replacement chain (see [`Self::bulk_apply`]) is canonical
+        // even when the frozen block was empty.
+        let replacement: Option<NonNull<BNode<K>>> = {
             let fwd = blk.forward().load();
-            if fwd != 0 {
+            if fwd > MERGED {
                 Some(unsafe { NonNull::new_unchecked(fwd as BPtr<K>) })
+            } else if fwd == MERGED {
+                None // merge decided: the install is a plain unlink
+            } else if survivors.is_empty() {
+                match blk.forward().compare_exchange(0, MERGED) {
+                    Ok(_) => None,
+                    Err(winner) => {
+                        (winner > MERGED).then(|| unsafe { NonNull::new_unchecked(winner as BPtr<K>) })
+                    }
+                }
             } else {
                 let tail = TagPtr::clean(succ0);
                 let (n1, n2) = if survivors.len() > self.cap / 2 {
-                    let mid = survivors.len().div_ceil(2);
+                    let mid = self.policy.split_point(survivors.len());
                     let second = self.build_block(&survivors[mid..], tail, ctx);
                     let first = self.build_block(
                         &survivors[..mid],
@@ -776,7 +969,7 @@ where
                         if let Some(n2) = n2 {
                             self.graph.discard_unpublished(n2, ctx);
                         }
-                        Some(unsafe { NonNull::new_unchecked(winner as BPtr<K>) })
+                        (winner > MERGED).then(|| unsafe { NonNull::new_unchecked(winner as BPtr<K>) })
                     }
                 }
             }
@@ -837,56 +1030,195 @@ where
         self.graph.note_unlinked_chain(anchor.as_ptr(), succ0, 0, ctx);
         self.unlink_upper(anchor, ctx);
 
-        // The install winner links the replacements upward. The second
-        // block can only be recovered from `n1`'s level-0 reference, and
-        // by now that may already name n2's *own* replacement (n2 can
-        // fill and split the moment the install lands) — whose installer
-        // is linking it concurrently. That duplicate `link_upper` is
-        // tolerated: its self-successor hazard is neutralized by the
-        // already-reachable guard in `link_upper`, and upper links are a
-        // search accelerator, not a correctness requirement. A marked
-        // reference means `n1` itself is already dying; its replacement's
-        // installer owns any further linking.
+        // The install winner links the replacement *chain* upward and
+        // republishes its entries in the index. The chain is recovered by
+        // walking level-0 references from the canonical first block: a
+        // normal split contributes one or two blocks, a bulk fill an
+        // arbitrary run (see `Self::bulk_apply`). By the time we walk, a
+        // reference may already name a chain block's *own* replacement
+        // (it can fill and split the moment the install lands) — whose
+        // installer is linking it concurrently. That duplicate
+        // `link_upper` is tolerated: its self-successor hazard is
+        // neutralized by the already-reachable guard in `link_upper`, and
+        // upper links are a search accelerator, not a correctness
+        // requirement. The walk ends at the frozen block's old successor
+        // (or its stand-in: any non-data node, marked reference, or key
+        // at/above the old successor's). A marked reference means the
+        // chain block itself is already dying; its replacement's
+        // installer owns everything past it, so the walk stops —
+        // best-effort, the descent still finds unlinked/unindexed blocks.
         if let Some(n1) = replacement {
-            let w = unsafe { n1.as_ref() }.load_next_raw(0);
-            self.link_replacement(n1, ctx);
-            // A dead successor may already have been excised, advancing
-            // the reference past `n2` — to an unrelated block (whose own
-            // linking is not our duty, but linking it is harmless) or to
-            // the tail sentinel (which has no key and must not be
-            // offered to the search).
-            let n2: Option<NonNull<BNode<K>>> = if !w.marked() && w.ptr() != succ0 {
-                let n = unsafe { NonNull::new_unchecked(w.ptr()) };
-                unsafe { n.as_ref() }.is_data().then_some(n)
-            } else {
-                None
+            let succ_key: Option<K> = {
+                let s = unsafe { &*succ0 };
+                s.is_data().then(|| *unsafe { s.key() })
             };
-            if let Some(n2) = n2 {
-                self.link_replacement(n2, ctx);
-            }
-            // Republish the migrated entries under their new (anchor,
-            // slot) homes; the dead anchor's entries went stale with its
-            // generation bump above. The split layout is deterministic
-            // (every helper computes the same survivor set and midpoint),
-            // so slot positions are re-derivable even when the canonical
-            // replacement was built by another helper. Best-effort: if
-            // `n2` was unrecoverable (already excised), its half simply
-            // stays on the descent path until touched again.
-            if self.graph.index().is_some() {
-                let first_len = if survivors.len() > self.cap / 2 {
-                    survivors.len().div_ceil(2)
-                } else {
-                    survivors.len()
-                };
-                for (i, (k, _)) in survivors.iter().enumerate() {
-                    if i < first_len {
-                        self.index_publish_slot(k, n1, i);
-                    } else if let Some(n2) = n2 {
-                        self.index_publish_slot(k, n2, i - first_len);
+            let mut cur = n1;
+            loop {
+                let w = unsafe { cur.as_ref() }.load_next_raw(0);
+                self.link_replacement(cur, ctx);
+                // Republish the block's live entries under their new
+                // (anchor, slot) homes; the dead anchor's entries went
+                // stale with its generation bump above. Skip a block that
+                // already froze again — its own installer republishes.
+                if self.graph.index().is_some() {
+                    let bw = unsafe { self.blk(cur) }.control().load();
+                    if !is_frozen(bw) {
+                        let b = unsafe { self.blk(cur) };
+                        for i in 0..self.cap {
+                            if bw & present_bit(i) != 0 {
+                                self.index_publish_slot(&unsafe { b.key_at(i) }, cur, i);
+                            }
+                        }
                     }
                 }
+                if w.marked() || w.ptr().is_null() || w.ptr() == succ0 {
+                    break;
+                }
+                let next = unsafe { &*w.ptr() };
+                if !next.is_data()
+                    || succ_key.is_some_and(|s| next.cmp_key(&s) != CmpOrdering::Less)
+                {
+                    break;
+                }
+                cur = unsafe { NonNull::new_unchecked(w.ptr()) };
             }
         }
+    }
+
+    /// Bulk block-fill: applies a sorted run of distinct insert `entries`
+    /// to the block at `anchor` in **one publish**, replacing the block
+    /// with a chain of fresh blocks packed to [`BlockPolicy::fill_target`]
+    /// — the combiner's alternative to insert-then-split churn for long
+    /// fresh runs. Caller must hold a pin and have resolved `anchor` as
+    /// covering `entries[0]`.
+    ///
+    /// Protocol: freeze the block ourselves (the CAS loss means someone
+    /// else froze it — help and bail), snapshot survivors, mark the tower,
+    /// then cut the run at the post-mark successor key (entries at or past
+    /// it belong to later blocks — the coverage invariant). Survivors and
+    /// fresh entries merge into one sorted payload, chunked into
+    /// `fill_target`-sized blocks built right-to-left, and the whole chain
+    /// is published through the *same* forward word every [`help_split`]
+    /// helper resolves — winning that CAS makes the chain the canonical
+    /// replacement, and the ordinary help path installs and links it.
+    /// Losing it (a racing helper already published a plain survivor
+    /// split) discards the chain and bails; the caller re-applies per-op.
+    ///
+    /// Returns `None` when nothing was decided, else the applied prefix
+    /// length, per-entry freshness (false = key already present; the
+    /// existing value wins, as in [`Self::insert_pinned`]), and the last
+    /// chain block — the natural hint for the run's continuation.
+    #[allow(clippy::type_complexity)]
+    fn bulk_apply(
+        &self,
+        anchor: NonNull<BNode<K>>,
+        entries: &[(K, V)],
+        ctx: &ThreadCtx,
+    ) -> Option<(usize, Vec<bool>, Option<NonNull<BNode<K>>>)> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let f = unsafe { anchor.as_ref() };
+        let blk = unsafe { self.blk(anchor) };
+
+        // Freeze the block ourselves so the forward-word race below is the
+        // only one we can lose.
+        let mut w = blk.control().load();
+        loop {
+            if is_frozen(w) {
+                self.help_split(anchor, ctx);
+                return None;
+            }
+            match blk.control().compare_exchange(w, w | FROZEN) {
+                Ok(_) => break,
+                Err(cur) => w = cur,
+            }
+        }
+        let frozen_w = w | FROZEN;
+
+        let mut survivors: Vec<(K, V)> = (0..self.cap)
+            .filter(|&i| frozen_w & present_bit(i) != 0)
+            .map(|i| unsafe { blk.read(i) })
+            .collect();
+        survivors.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        let top = f.top_level() as usize;
+        for level in (1..=top).rev() {
+            self.graph.help_mark(f, level, ctx);
+        }
+        self.graph.help_mark(f, 0, ctx);
+        let succ0 = f.load_next_raw(0).ptr();
+
+        // Coverage cut: only the prefix below the (now stable) successor
+        // key is ours to apply. The prefix can only have *grown* since the
+        // caller resolved the anchor — new anchors in-range would need this
+        // very block to split, and we hold its freeze.
+        let succ_key: Option<K> = {
+            let s = unsafe { &*succ0 };
+            s.is_data().then(|| *unsafe { s.key() })
+        };
+        let applied = succ_key.map_or(entries.len(), |s| {
+            entries.partition_point(|e| e.0 < s)
+        });
+        // `applied` is normally >= 1 (the caller resolved a covering
+        // anchor) but a 0 is tolerated: the freeze still completes below
+        // and the caller falls back to per-op application.
+
+        // Merge survivors with the fresh prefix (both sorted): a key
+        // already present keeps its surviving value and reports stale.
+        let mut fresh = Vec::with_capacity(applied);
+        let mut merged: Vec<(K, V)> = Vec::with_capacity(survivors.len() + applied);
+        let (mut si, mut ei) = (0usize, 0usize);
+        while si < survivors.len() || ei < applied {
+            if si < survivors.len()
+                && (ei >= applied || survivors[si].0 <= entries[ei].0)
+            {
+                if ei < applied && survivors[si].0 == entries[ei].0 {
+                    fresh.push(false);
+                    ei += 1;
+                }
+                merged.push(survivors[si]);
+                si += 1;
+            } else {
+                fresh.push(true);
+                merged.push(entries[ei]);
+                ei += 1;
+            }
+        }
+
+        // Build the replacement chain right-to-left, then publish it with
+        // one forward-word CAS.
+        let tail = TagPtr::clean(succ0);
+        let chunks: Vec<&[(K, V)]> = merged.chunks(self.policy.fill_target).collect();
+        let publish = if chunks.is_empty() {
+            match blk.forward().compare_exchange(0, MERGED) {
+                Ok(_) => Some(None),
+                Err(_) => None,
+            }
+        } else {
+            let mut built: Vec<NonNull<BNode<K>>> = Vec::with_capacity(chunks.len());
+            let mut next = tail;
+            for chunk in chunks.iter().rev() {
+                let b = self.build_block(chunk, next, ctx);
+                next = TagPtr::clean(b.as_ptr());
+                built.push(b);
+            }
+            let first = *built.last().expect("nonempty chain");
+            match blk.forward().compare_exchange(0, first.as_ptr() as usize) {
+                Ok(_) => {
+                    ctx.record_bulk_fill(built.len() as u64, merged.len() as u64);
+                    Some(Some(built[0])) // last chunk block: the run's hint
+                }
+                Err(_) => {
+                    for b in built {
+                        self.graph.discard_unpublished(b, ctx);
+                    }
+                    None
+                }
+            }
+        };
+        // Win or lose, the block is frozen and the forward word decided:
+        // run the ordinary help path to install (ours or the winner's).
+        self.help_split(anchor, ctx);
+        publish.map(|hint| (applied, fresh, hint))
     }
 
     /// Links a freshly installed replacement block at its upper tower
@@ -1072,16 +1404,26 @@ where
     }
 }
 
+/// Every handle caps its anchor cache here; overflowing clears it
+/// wholesale (entries are hints, not state — rebuilding is one descent
+/// per block, and a bounded map keeps `max_lower_equal` cheap).
+const ANCHOR_CACHE_CAP: usize = 128;
+
 /// Per-thread handle for a [`BlockedSkipMap`]: carries the thread's
-/// recording context and a cached *block hint* — a generation-checked
-/// [`NodeRef`] to the anchor the previous operation landed in. Sorted
-/// runs of keys keep hitting the same block, so a validated hint skips
-/// the tower descent entirely (the blocked analogue of the batch
-/// executor's sorted-run hint chains).
+/// recording context and an *anchor cache* — a local ordered map from
+/// block anchor keys to generation-checked [`NodeRef`]s, the blocked
+/// analogue of the layered design's per-thread local structures. One
+/// cached anchor serves point operations for **every** key its block
+/// covers (anchor-granular locality): a lookup takes the cache's
+/// greatest anchor `<= key` and validates it in place — generation,
+/// unmarked, still covering — falling back to the tower descent on a
+/// miss. Entries that fail the liveness checks are evicted on sight
+/// (splits and merges retire the old anchor, so its generation moves —
+/// that is the invalidate-on-observed-split rule).
 pub struct BlockedHandle<'g, K, V> {
     map: &'g BlockedSkipMap<K, V>,
     ctx: ThreadCtx,
-    hint: Option<NodeRef<K, ()>>,
+    anchors: BTreeLocalMap<K, NodeRef<K, ()>>,
 }
 
 impl<'g, K, V> BlockedHandle<'g, K, V>
@@ -1094,47 +1436,104 @@ where
         &self.ctx
     }
 
-    /// Revalidates the cached block hint for `key` under the current
-    /// pin: the anchor must still be its live incarnation (generation
-    /// check), unmarked, and covering — `anchor.key <= key` and the
-    /// direct successor past `key`. Keys below the anchor (the
-    /// first-block case) take the full search; only a split of the
-    /// hinted block can create a closer anchor above it, and splits
-    /// freeze the block first, so the operation's own frozen check
-    /// closes the remaining window.
-    fn validated_hint(&self, key: &K) -> Option<NonNull<BNode<K>>> {
-        let hint = self.hint.as_ref()?;
-        let node = hint.node()?;
-        if !node.is_data() {
-            return None;
+    /// Resolves `key` through the anchor cache under the current pin:
+    /// take the greatest cached anchor `<= key`, validate it is still its
+    /// live incarnation (generation check), a data node, unmarked, and
+    /// covering — the direct successor past `key`. Dead entries (gen
+    /// moved, marked, or unlinked) are evicted and the next-lower cached
+    /// anchor tried; a live block that simply no longer covers `key`
+    /// (e.g. it split and the upper half absorbed the key's range) stays
+    /// cached for its own narrower range, and the op pays the descent.
+    /// Keys below the anchor key never resolve here (the map order
+    /// guarantees `anchor.key <= key`); only a split of the cached block
+    /// can create a closer anchor above it, and splits freeze first, so
+    /// the operation's own frozen check closes the remaining window.
+    fn validated_cached(&mut self, key: &K) -> Option<NonNull<BNode<K>>> {
+        loop {
+            let (akey, hint) = self.anchors.max_lower_equal(key)?;
+            let akey = *akey;
+            let live = hint.node().filter(|node| {
+                node.is_data() && {
+                    let w0 = node.load_next_raw(0);
+                    !w0.marked() && !w0.ptr().is_null()
+                }
+            });
+            let Some(node) = live else {
+                self.anchors.remove(&akey);
+                continue;
+            };
+            debug_assert!(node.cmp_key(key) != CmpOrdering::Greater);
+            let w0 = node.load_next_raw(0);
+            if unsafe { &*w0.ptr() }.cmp_key(key) != CmpOrdering::Greater {
+                return None;
+            }
+            return Some(hint.ptr);
         }
-        let w0 = node.load_next_raw(0);
-        if w0.marked() || w0.ptr().is_null() {
-            return None;
-        }
-        if node.cmp_key(key) == CmpOrdering::Greater {
-            return None;
-        }
-        if unsafe { &*w0.ptr() }.cmp_key(key) != CmpOrdering::Greater {
-            return None;
-        }
-        Some(hint.ptr)
     }
 
-    fn start_for(&self, key: &K) -> Option<NonNull<BNode<K>>> {
-        let start = self.validated_hint(key);
+    /// Injected bug (`--features bug-injection`, `anchor_blocked_sg`
+    /// lane: non-default merge threshold, so each stress lane carries
+    /// exactly one live fault): resolve the cached anchor *without* the
+    /// covering check — i.e. sever anchor invalidation on an observed
+    /// split. A read through a stale anchor whose block's range moved to
+    /// a split-off sibling then scans the wrong block and reports a
+    /// present key absent: the stale-miss the deterministic wall must
+    /// catch. Reads only — a severed write would publish outside the
+    /// coverage invariant and corrupt the level-0 order itself, turning
+    /// the detectable lie into a structural livelock.
+    #[cfg(feature = "bug-injection")]
+    fn severed_cached(&mut self, key: &K) -> Option<NonNull<BNode<K>>> {
+        loop {
+            let (akey, hint) = self.anchors.max_lower_equal(key)?;
+            let akey = *akey;
+            let live = hint.node().filter(|node| {
+                node.is_data() && {
+                    let w0 = node.load_next_raw(0);
+                    !w0.marked() && !w0.ptr().is_null()
+                }
+            });
+            let Some(_node) = live else {
+                self.anchors.remove(&akey);
+                continue;
+            };
+            return Some(hint.ptr);
+        }
+    }
+
+    fn start_for(&mut self, key: &K) -> Option<NonNull<BNode<K>>> {
+        let start = self.validated_cached(key);
         if start.is_some() {
-            // One node inspected instead of a full descent.
+            // One node inspected instead of a full descent (counted as a
+            // one-node search, same accounting as an index fast-path hit).
+            self.ctx.record_anchor_hit();
+            self.ctx.record_search(1);
             self.ctx.record_hinted_search(1);
         }
         start
     }
 
+    /// The read path's anchor resolution: identical to [`start_for`]
+    /// except that the bug-injection build of the compacting-policy lane
+    /// trusts stale anchors (see [`severed_cached`]).
+    fn read_start_for(&mut self, key: &K) -> Option<NonNull<BNode<K>>> {
+        #[cfg(feature = "bug-injection")]
+        if self.map.policy.merge_threshold > 0 {
+            return self.severed_cached(key);
+        }
+        self.start_for(key)
+    }
+
     fn cache(&mut self, anchor: Option<NonNull<BNode<K>>>) {
-        // Captured under the operation's pin (the caller holds it), so the
-        // generation read is safe; validation happens under the *next*
-        // operation's pin.
-        self.hint = anchor.map(NodeRef::new);
+        // Captured under the operation's pin (the caller holds it), so
+        // the generation read and the key read are safe; validation
+        // happens under the *next* operation's pin.
+        if let Some(a) = anchor {
+            if self.anchors.len() >= ANCHOR_CACHE_CAP {
+                self.anchors.clear();
+            }
+            let akey = *unsafe { a.as_ref().key() };
+            self.anchors.insert(akey, NodeRef::new(a));
+        }
     }
 
     /// Inserts `key -> value`; `false` if the key was present.
@@ -1161,7 +1560,7 @@ where
     pub fn get(&mut self, key: &K) -> Option<V> {
         self.ctx.record_op();
         let _pin = self.map.graph.pin(&self.ctx);
-        let start = self.start_for(key);
+        let start = self.read_start_for(key);
         let (v, anchor) = self.map.get_pinned(key, start, &self.ctx);
         self.cache(anchor);
         v
@@ -1171,6 +1570,223 @@ where
     pub fn contains(&mut self, key: &K) -> bool {
         self.get(key).is_some()
     }
+
+    /// Resolves the target anchor for `key` from the carried chain hint:
+    /// a validated covering hint answers directly; a live hint whose key
+    /// is still `<= key` walks the level-0 chain forward (consecutive
+    /// sorted-run groups pay only the hops between their blocks, never a
+    /// fresh descent); anything else falls back to the anchor cache.
+    fn resolve_for_run(
+        &mut self,
+        chain: &Option<NodeRef<K, ()>>,
+        key: &K,
+    ) -> Option<NonNull<BNode<K>>> {
+        if let Some(hint) = chain {
+            if let Some(node) = hint.node() {
+                if node.is_data() && node.cmp_key(key) != CmpOrdering::Greater {
+                    let w0 = node.load_next_raw(0);
+                    if !w0.marked() && !w0.ptr().is_null() {
+                        if unsafe { &*w0.ptr() }.cmp_key(key) == CmpOrdering::Greater {
+                            self.ctx.record_anchor_hit();
+                            self.ctx.record_search(1);
+                            self.ctx.record_hinted_search(1);
+                            return Some(hint.ptr);
+                        }
+                        let (found, hops) =
+                            self.map.covering_anchor_from(hint.ptr, key, &self.ctx);
+                        if let Some(a) = found {
+                            self.ctx.record_anchor_hit();
+                            self.ctx.record_search(hops + 1);
+                            self.ctx.record_hinted_search(hops + 1);
+                            return Some(a);
+                        }
+                    }
+                }
+            }
+        }
+        self.start_for(key)
+    }
+
+    /// Executes a key-sorted run of `(slot, op_index, op)` triples —
+    /// the anchor-granular combiner path. Consecutive ops that resolve to
+    /// the same block share one resolution (grouped-op counters expose
+    /// the granularity win), the resolved anchor is carried forward as a
+    /// chain hint between groups, and maximal strictly-ascending insert
+    /// runs at least [`BlockPolicy::fill_target`] long go through
+    /// [`BlockedSkipMap::bulk_apply`] — fresh blocks packed to the fill
+    /// target in one publish. Outcomes are delivered through `out` with
+    /// each triple's first two components.
+    ///
+    /// Requires `work` sorted by key (stable: same-key ops in submission
+    /// order), as the batch combiner produces.
+    pub fn run_sorted(
+        &mut self,
+        work: Vec<(usize, usize, BatchOp<K, V>)>,
+        out: &mut dyn FnMut(usize, usize, BlockedOutcome<V>),
+    ) {
+        debug_assert!(work.windows(2).all(|w| w[0].2.key() <= w[1].2.key()));
+        let bulk_min = self.map.policy.fill_target.max(2);
+        let mut chain: Option<NodeRef<K, ()>> = None;
+        let mut group_anchor: Option<BPtr<K>> = None;
+        let mut group_ops: u64 = 0;
+        // Past the first failed bulk attempt of a run, the rest of that
+        // run stays per-op (a failure means a racing split/fill owns the
+        // block's future; retrying per remaining op would freeze-storm).
+        let mut no_bulk_before = 0usize;
+        let mut i = 0usize;
+        while i < work.len() {
+            let key = *work[i].2.key();
+            self.ctx.record_op();
+            let pin = self.map.graph.pin(&self.ctx);
+            let start = self.resolve_for_run(&chain, &key);
+
+            // Bulk path: maximal strictly-ascending insert run from `i`.
+            if i >= no_bulk_before {
+                if let BatchOp::Insert(_, _) = work[i].2 {
+                    let mut j = i + 1;
+                    while j < work.len() {
+                        match (&work[j - 1].2, &work[j].2) {
+                            (BatchOp::Insert(pk, _), BatchOp::Insert(nk, _)) if nk > pk => {
+                                j += 1
+                            }
+                            _ => break,
+                        }
+                    }
+                    if j - i >= bulk_min {
+                        if let Some(anchor) = start {
+                            let entries: Vec<(K, V)> = work[i..j]
+                                .iter()
+                                .map(|(_, _, op)| match op {
+                                    BatchOp::Insert(k, v) => (*k, *v),
+                                    _ => unreachable!("run holds inserts only"),
+                                })
+                                .collect();
+                            match self.map.bulk_apply(anchor, &entries, &self.ctx) {
+                                Some((applied, freshes, hint)) if applied > 0 => {
+                                    for (t, fresh) in freshes.iter().enumerate() {
+                                        let (si, oi, _) = work[i + t];
+                                        out(si, oi, BlockedOutcome::Inserted(*fresh));
+                                    }
+                                    // The bulk counts extra ops on top of
+                                    // the one record_op above.
+                                    for _ in 1..applied {
+                                        self.ctx.record_op();
+                                    }
+                                    if group_ops > 0 {
+                                        self.ctx.record_anchor_group(group_ops);
+                                    }
+                                    self.ctx.record_anchor_group(applied as u64);
+                                    group_anchor = None;
+                                    group_ops = 0;
+                                    self.cache(hint);
+                                    chain = hint.map(NodeRef::new);
+                                    i += applied;
+                                    drop(pin);
+                                    continue;
+                                }
+                                _ => no_bulk_before = j,
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Per-op path, seeded with the resolved anchor.
+            let (si, oi) = (work[i].0, work[i].1);
+            let landed: Option<NonNull<BNode<K>>>;
+            let outcome = match &work[i].2 {
+                BatchOp::Insert(k, v) => {
+                    let (ok, a) = self.map.insert_pinned(*k, *v, start, &self.ctx);
+                    landed = a;
+                    BlockedOutcome::Inserted(ok)
+                }
+                BatchOp::Remove(k) => {
+                    let (ok, a) = self.map.remove_pinned(k, start, &self.ctx);
+                    landed = a;
+                    BlockedOutcome::Removed(ok)
+                }
+                BatchOp::Get(k) => {
+                    let (v, a) = self.map.get_pinned(k, start, &self.ctx);
+                    landed = a;
+                    BlockedOutcome::Got(v)
+                }
+            };
+            self.cache(landed);
+            chain = landed.map(NodeRef::new);
+            match landed.map(NonNull::as_ptr) {
+                p if p == group_anchor && p.is_some() => group_ops += 1,
+                p => {
+                    if group_ops > 0 {
+                        self.ctx.record_anchor_group(group_ops);
+                    }
+                    group_anchor = p;
+                    group_ops = u64::from(p.is_some());
+                }
+            }
+            out(si, oi, outcome);
+            i += 1;
+            drop(pin);
+        }
+        if group_ops > 0 {
+            self.ctx.record_anchor_group(group_ops);
+        }
+    }
+
+    /// Applies a batch of operations as one combiner-style sorted run,
+    /// returning outcomes in submission order. The single-thread
+    /// entry point to the anchor-granular path (the multi-thread one is
+    /// the flat-combining executor's `CombinerTarget` plumbing).
+    pub fn execute_batch(&mut self, ops: Vec<BatchOp<K, V>>) -> Vec<BlockedOutcome<V>> {
+        let n = ops.len();
+        let mut work: Vec<(usize, usize, BatchOp<K, V>)> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (0, i, op))
+            .collect();
+        // Stable: same-key ops keep submission order.
+        work.sort_by(|a, b| a.2.key().cmp(b.2.key()));
+        let mut results: Vec<Option<BlockedOutcome<V>>> = (0..n).map(|_| None).collect();
+        self.run_sorted(work, &mut |_, oi, o| results[oi] = Some(o));
+        results
+            .into_iter()
+            .map(|o| o.expect("every submitted op is answered"))
+            .collect()
+    }
+}
+
+impl<K, V> crate::batch::CombinerTarget<K, V> for BlockedHandle<'_, K, V>
+where
+    K: Ord + Copy,
+    V: Copy,
+{
+    type Outcome = BlockedOutcome<V>;
+
+    fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+
+    /// The anchor-granular run: see [`BlockedHandle::run_sorted`].
+    fn combined_run(
+        &mut self,
+        work: Vec<(usize, usize, BatchOp<K, V>)>,
+        out: &mut dyn FnMut(usize, usize, BlockedOutcome<V>),
+    ) {
+        self.run_sorted(work, out);
+    }
+}
+
+/// The result of one [`BatchOp`] applied to a [`BlockedSkipMap`] through
+/// the anchor-granular combiner path (the blocked analogue of
+/// [`crate::batch::BatchOutcome`], which carries layered-map node
+/// references the blocked map has no use for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOutcome<V> {
+    /// Insert outcome: `true` when the key was absent.
+    Inserted(bool),
+    /// Remove outcome: `true` when the key was present.
+    Removed(bool),
+    /// Lookup outcome.
+    Got(Option<V>),
 }
 
 impl<K, V> BlockedSkipMap<K, V>
@@ -1191,7 +1807,7 @@ where
         BlockedHandle {
             map: self,
             ctx,
-            hint: None,
+            anchors: BTreeLocalMap::default(),
         }
     }
 }
@@ -1370,6 +1986,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use instrument::AccessStats;
     use std::collections::BTreeMap;
 
     fn cfg(threads: usize) -> GraphConfig {
@@ -1663,5 +2280,262 @@ mod tests {
             "cap-8 blocking should use far fewer anchors than keys ({})",
             s.anchors
         );
+    }
+
+    #[test]
+    fn policy_split_point_math() {
+        // Defaults reproduce the historical half split (div_ceil(2)).
+        let half = BlockPolicy::default_for(8);
+        for len in 2..=16 {
+            assert_eq!(half.split_point(len), len.div_ceil(2), "len {len}");
+        }
+        // Left-biased cuts leave the left block fuller; clamping keeps
+        // both sides nonempty at every length.
+        let left = BlockPolicy {
+            split_left_pct: 75,
+            ..BlockPolicy::default_for(8)
+        };
+        assert_eq!(left.split_point(8), 6);
+        assert_eq!(left.split_point(2), 1);
+        let extreme = BlockPolicy {
+            split_left_pct: 99,
+            ..BlockPolicy::default_for(8)
+        };
+        for len in 2..=16 {
+            let cut = extreme.split_point(len);
+            assert!(cut >= 1 && cut < len, "len {len} cut {cut}");
+        }
+        BlockPolicy::default_for(4).validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge_threshold")]
+    fn policy_rejects_threshold_at_capacity() {
+        let bad = BlockPolicy {
+            merge_threshold: 4,
+            ..BlockPolicy::default_for(4)
+        };
+        let _ = BlockedSkipMap::<u64, u64>::with_policy(cfg(1), 4, bad);
+    }
+
+    /// A nonzero merge threshold compacts a tombstone-clogged block into a
+    /// fresh one with free slots at remove time; the default policy
+    /// leaves the clog in place until an insert forces the freeze.
+    #[test]
+    fn merge_threshold_compacts_clogged_blocks() {
+        // Claimed slots of the block covering key 0 (white-box probe).
+        let claimed = |map: &BlockedSkipMap<u64, u64>, c: &ThreadCtx| -> u32 {
+            let _pin = map.graph.pin(c);
+            let a = map.covering_anchor(&0, c).expect("block exists");
+            claimed_bits(unsafe { map.blk(a) }.control().load()).count_ones()
+        };
+        let run = |policy: BlockPolicy| -> u32 {
+            let map = BlockedSkipMap::<u64, u64>::with_policy(cfg(1), 4, policy);
+            let c = ctx();
+            for k in 0..4 {
+                assert!(map.insert(k, k, &c));
+            }
+            assert_eq!(map.stats(&c).anchors, 1);
+            // All four slots claimed; tombstone down to two survivors.
+            assert!(map.remove(&3, &c));
+            assert!(map.remove(&2, &c));
+            let clog = claimed(&map, &c);
+            // Either way the map stays correct through a refill.
+            assert!(map.insert(10, 10, &c));
+            assert!(map.insert(11, 11, &c));
+            for (k, v) in [(0, 0), (1, 1), (10, 10), (11, 11)] {
+                assert_eq!(map.get(&k, &c), Some(v), "policy {policy:?} key {k}");
+            }
+            map.check_invariants(&c).unwrap();
+            clog
+        };
+        // Compacting policy: the second remove crosses the threshold on a
+        // fully-claimed block, so it is rebuilt immediately — the
+        // covering block has free slots before any insert arrives.
+        let compacting = BlockPolicy {
+            merge_threshold: 2,
+            ..BlockPolicy::default_for(4)
+        };
+        assert_eq!(run(compacting), 2);
+        // Default policy: the tombstones keep every slot claimed.
+        assert_eq!(run(BlockPolicy::default_for(4)), 4);
+    }
+
+    #[test]
+    fn prefix_probe_matches_linear_reference() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let c = ctx();
+        for n in 1..=8usize {
+            let entries: Vec<(u64, u64)> =
+                (0..n as u64).map(|i| (i * 10 + 5, i)).collect();
+            // A throwaway block (never installed; arena-backed, so the
+            // leak is bounded by the test).
+            let node = map.build_block(&entries, TagPtr::null(), &c);
+            let blk = unsafe { map.blk(node) };
+            for probe in 0..90u64 {
+                let want = entries.iter().rposition(|e| e.0 <= probe);
+                assert_eq!(
+                    BlockedSkipMap::prefix_probe(&blk, n, &probe),
+                    want,
+                    "n {n} probe {probe}"
+                );
+            }
+        }
+    }
+
+    /// The combiner path bulk-fills fresh blocks to the fill target in
+    /// one publish, and the counters price it.
+    #[test]
+    fn bulk_fill_reaches_target_occupancy() {
+        const N: u64 = if cfg!(miri) { 32 } else { 64 };
+        let sink = AccessStats::new(1);
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let mut h = map.register(ThreadCtx::recording(0, sink.clone()));
+        let outs =
+            h.execute_batch((0..N).map(|k| BatchOp::Insert(k, k * 2)).collect());
+        assert!(outs.iter().all(|o| *o == BlockedOutcome::Inserted(true)));
+        let t = sink.totals();
+        assert!(t.bulk_blocks > 0, "ascending fresh run must bulk-fill");
+        assert!(
+            t.bulk_entries * 4 >= t.bulk_blocks * 8 * 3,
+            "bulk occupancy below 75% of target: {} entries / {} blocks",
+            t.bulk_entries,
+            t.bulk_blocks
+        );
+        assert!(t.anchor_groups > 0 && t.grouped_ops >= t.anchor_groups);
+        let c = ctx();
+        for k in 0..N {
+            assert_eq!(map.get(&k, &c), Some(k * 2), "lookup {k}");
+        }
+        map.check_invariants(&c).unwrap();
+    }
+
+    /// Bulk fills merge with surviving entries: present keys keep their
+    /// value and report stale, exactly like per-op inserts.
+    #[test]
+    fn bulk_fill_preserves_present_keys() {
+        const N: u64 = if cfg!(miri) { 16 } else { 32 };
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let c = ctx();
+        for k in (1..N).step_by(2) {
+            assert!(map.insert(k, k * 100, &c));
+        }
+        let mut h = map.register(ctx());
+        let outs = h.execute_batch((0..N).map(|k| BatchOp::Insert(k, k + 1)).collect());
+        for (k, o) in (0..N).zip(&outs) {
+            assert_eq!(*o, BlockedOutcome::Inserted(k % 2 == 0), "key {k}");
+        }
+        for k in 0..N {
+            let want = if k % 2 == 1 { k * 100 } else { k + 1 };
+            assert_eq!(map.get(&k, &c), Some(want), "key {k}");
+        }
+        assert_eq!(map.len(&c), N as usize);
+        map.check_invariants(&c).unwrap();
+    }
+
+    /// Differential: `execute_batch` against a sequential model applying
+    /// the same ops in sorted-stable order (the combiner's documented
+    /// semantics), across the policy sweep.
+    #[test]
+    fn execute_batch_matches_sequential_model() {
+        const N: usize = if cfg!(miri) { 60 } else { 240 };
+        const KEYSPACE: u64 = 40;
+        let policies = [
+            BlockPolicy::default_for(4),
+            BlockPolicy {
+                split_left_pct: 70,
+                merge_threshold: 1,
+                fill_target: 3,
+            },
+        ];
+        for policy in policies {
+            let map = BlockedSkipMap::<u64, u64>::with_policy(cfg(1), 4, policy);
+            let mut h = map.register(ctx());
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for batch in 0..4 {
+                let ops: Vec<BatchOp<u64, u64>> = (0..N / 4)
+                    .map(|i| {
+                        let x = batch * (N / 4) + i;
+                        let key = (x as u64).wrapping_mul(37) % KEYSPACE;
+                        match x % 4 {
+                            0 | 1 => BatchOp::Insert(key, x as u64),
+                            2 => BatchOp::Remove(key),
+                            _ => BatchOp::Get(key),
+                        }
+                    })
+                    .collect();
+                // Model: sorted-stable application order.
+                let mut idx: Vec<usize> = (0..ops.len()).collect();
+                idx.sort_by_key(|&i| *ops[i].key());
+                let mut want: Vec<Option<BlockedOutcome<u64>>> = vec![None; ops.len()];
+                for &i in &idx {
+                    want[i] = Some(match &ops[i] {
+                        BatchOp::Insert(k, v) => {
+                            if model.contains_key(k) {
+                                BlockedOutcome::Inserted(false)
+                            } else {
+                                model.insert(*k, *v);
+                                BlockedOutcome::Inserted(true)
+                            }
+                        }
+                        BatchOp::Remove(k) => {
+                            BlockedOutcome::Removed(model.remove(k).is_some())
+                        }
+                        BatchOp::Get(k) => BlockedOutcome::Got(model.get(k).copied()),
+                    });
+                }
+                let got = h.execute_batch(ops);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(Some(g), w.as_ref(), "policy {policy:?} op {i}");
+                }
+            }
+            let c = ctx();
+            for k in 0..KEYSPACE {
+                assert_eq!(map.get(&k, &c), model.get(&k).copied(), "key {k}");
+            }
+            map.check_invariants(&c).unwrap();
+        }
+    }
+
+    /// The per-thread anchor cache serves point ops for whole block
+    /// ranges: a warmed handle answers out-of-order lookups without
+    /// fresh descents (anchor hits recorded), and stays correct across
+    /// the splits the inserts force.
+    #[test]
+    fn anchor_cache_hits_across_block_ranges() {
+        const N: u64 = if cfg!(miri) { 24 } else { 100 };
+        let sink = AccessStats::new(1);
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 8);
+        let mut h = map.register(ThreadCtx::recording(0, sink.clone()));
+        for k in 0..N {
+            assert!(h.insert(k, k));
+        }
+        let warm = sink.totals().anchor_hits;
+        assert!(warm > 0, "sorted inserts must hit the cached anchor");
+        for k in (0..N).rev() {
+            assert_eq!(h.get(&k), Some(k), "reverse lookup {k}");
+        }
+        assert!(
+            sink.totals().anchor_hits > warm,
+            "reverse scan must reuse cached anchors"
+        );
+        map.check_invariants(h.ctx()).unwrap();
+    }
+
+    /// Overflowing the anchor cache clears it without harming
+    /// correctness (entries are hints only).
+    #[test]
+    fn anchor_cache_overflow_stays_correct() {
+        let map = BlockedSkipMap::<u64, u64>::new(cfg(1), 2);
+        let mut h = map.register(ctx());
+        // cap 2 makes one block per ~1-2 keys: > ANCHOR_CACHE_CAP blocks.
+        let n = (ANCHOR_CACHE_CAP as u64 + 8) * 2;
+        for k in 0..n {
+            assert!(h.insert(k, k));
+        }
+        for k in (0..n).step_by(7) {
+            assert_eq!(h.get(&k), Some(k));
+        }
+        map.check_invariants(h.ctx()).unwrap();
     }
 }

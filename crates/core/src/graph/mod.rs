@@ -24,7 +24,8 @@ mod stats;
 mod tests;
 
 pub use block::{
-    BlockedHandle, BlockedRangeIter, BlockedSkipMap, BlockedStats, MAX_BLOCK_CAP, MIN_BLOCK_CAP,
+    BlockPolicy, BlockedHandle, BlockedOutcome, BlockedRangeIter, BlockedSkipMap, BlockedStats,
+    MAX_BLOCK_CAP, MIN_BLOCK_CAP,
 };
 pub use iter::SnapshotIter;
 pub use ops::HintChain;
@@ -365,6 +366,15 @@ impl<K: Ord, V> SkipGraph<K, V> {
         if let Some(idx) = &self.index {
             idx.invalidate(unsafe { node.key() }, Some(NonNull::from(node)));
         }
+    }
+
+    /// Per-NUMA-segment occupancy telemetry for the shared hash index:
+    /// entries, capacity, tombstones, and a probe-length histogram per
+    /// segment (empty when no index is installed). A weak snapshot meant
+    /// for sizing [`GraphConfig::index_capacity`](crate::GraphConfig) —
+    /// see [`crate::index::SegmentOccupancy`] for how to read it.
+    pub fn index_occupancy(&self) -> Vec<crate::index::SegmentOccupancy> {
+        self.index().map_or_else(Vec::new, |i| i.occupancy())
     }
 
     /// Consults the hash index for `key`, recording hit/miss/stale

@@ -7,6 +7,7 @@
 //! node's liveness is observed as it is passed.
 
 use super::{NodePtr, PinGuard, SkipGraph};
+use crate::index::IndexRead;
 use instrument::ThreadCtx;
 use std::ops::Bound;
 
@@ -20,6 +21,9 @@ pub struct RangeIter<'g, K, V> {
     graph: &'g SkipGraph<K, V>,
     ctx: &'g ThreadCtx,
     cur: NodePtr<K, V>,
+    /// `cur` is itself the first candidate (an index-accelerated start
+    /// landed *on* the range's first key) rather than the node before it.
+    at_cur: bool,
     end: Bound<K>,
     _pin: PinGuard<'g, K, V>,
 }
@@ -28,6 +32,12 @@ impl<K: Ord + Clone, V> SkipGraph<K, V> {
     /// Scans live pairs in `[start_bound, end_bound)` semantics given by
     /// the two bounds, ascending. `start_hint` is an optional jump-in node
     /// (same contract as search starts: key ≤ the scan's lower bound).
+    ///
+    /// When the shared hash index is installed and holds a validated live
+    /// entry for the bound key itself, the scan starts *at* that node with
+    /// no descent at all — the positioning step costs one index probe.
+    /// Any other index answer (absent, stale, miss) falls back to the
+    /// hinted search.
     pub fn range<'g>(
         &'g self,
         start: Bound<&K>,
@@ -38,22 +48,35 @@ impl<K: Ord + Clone, V> SkipGraph<K, V> {
         let pin = self.pin(ctx);
         let mvec = self.membership_of(ctx.id());
         let hint = start_hint.map(|h| h.0);
+        let indexed = match &start {
+            Bound::Included(k) | Bound::Excluded(k) => match self.index_read(k, ctx) {
+                Some(IndexRead::Hit(node)) => Some(node as *const _ as NodePtr<K, V>),
+                _ => None,
+            },
+            Bound::Unbounded => None,
+        };
         // Position `cur` at the last node *before* the range so the
-        // iterator's first step lands on the first in-range node.
-        let cur = match &start {
-            Bound::Unbounded => self.head(0, 0),
+        // iterator's first step lands on the first in-range node — or, on
+        // an index hit, directly on the bound key's live holder (included
+        // in the scan iff the bound is inclusive).
+        let (cur, at_cur) = match &start {
+            Bound::Unbounded => (self.head(0, 0), false),
             Bound::Included(k) => {
-                let res = self.search_from(k, mvec, hint, false, ctx);
-                res.preds[0]
+                if let Some(node) = indexed {
+                    (node, true)
+                } else {
+                    let res = self.search_from(k, mvec, hint, false, ctx);
+                    (res.preds[0], false)
+                }
             }
             Bound::Excluded(k) => {
-                // First node with key > k: search for k; if found, start
-                // after the holder, else after the predecessor.
-                let res = self.search_from(k, mvec, hint, false, ctx);
-                if res.found {
-                    res.succs[0]
+                // First node with key > k: start after the holder if the
+                // key is present, else after the predecessor.
+                if let Some(node) = indexed {
+                    (node, false)
                 } else {
-                    res.preds[0]
+                    let res = self.search_from(k, mvec, hint, false, ctx);
+                    (if res.found { res.succs[0] } else { res.preds[0] }, false)
                 }
             }
         };
@@ -61,6 +84,7 @@ impl<K: Ord + Clone, V> SkipGraph<K, V> {
             graph: self,
             ctx,
             cur,
+            at_cur,
             end,
             _pin: pin,
         }
@@ -92,13 +116,22 @@ impl<'g, K: Ord + Clone, V> Iterator for RangeIter<'g, K, V> {
     fn next(&mut self) -> Option<Self::Item> {
         let lazy = self.graph.config().lazy;
         loop {
-            let w = unsafe { &*self.cur }.load_next(0, self.ctx);
-            let next = w.ptr();
-            let node = unsafe { &*next };
-            if node.is_tail() {
-                return None;
-            }
-            self.cur = next;
+            let node = if self.at_cur {
+                // Index-accelerated start: `cur` is the bound key's own
+                // holder — consider it before stepping (its liveness is
+                // re-checked below like any other node's).
+                self.at_cur = false;
+                unsafe { &*self.cur }
+            } else {
+                let w = unsafe { &*self.cur }.load_next(0, self.ctx);
+                let next = w.ptr();
+                let node = unsafe { &*next };
+                if node.is_tail() {
+                    return None;
+                }
+                self.cur = next;
+                node
+            };
             let key = unsafe { node.key() };
             let in_range = match &self.end {
                 Bound::Unbounded => true,

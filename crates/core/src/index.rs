@@ -79,7 +79,56 @@ const TAG_PRESENT: usize = 1 << 63;
 /// Linear-probe bound: past this, a publish gives up (after nudging the
 /// segment to grow) and a lookup reports a miss. Bounds both the read
 /// cost and the damage a pathological hash cluster can do.
-const PROBE_LIMIT: usize = 16;
+/// Maximum linear-probe chain length before a lookup gives up (also the
+/// width of [`SegmentOccupancy::probe_histogram`]).
+pub const PROBE_LIMIT: usize = 16;
+
+/// Occupancy snapshot of one NUMA segment's current table — the tuning
+/// signal for [`crate::GraphConfig::index_capacity`]: `entries` near
+/// `capacity * 3/4` means the segment is about to grow, and mass in the
+/// histogram's upper buckets means probe chains (and thus point-read line
+/// costs) are long even though space remains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SegmentOccupancy {
+    /// Slots in the current table (power of two).
+    pub capacity: usize,
+    /// Slots ever claimed from empty in this table, tombstones included
+    /// (the grow trigger compares this against `capacity * 3/4`).
+    pub used: usize,
+    /// Present entries observed by the snapshot walk.
+    pub entries: usize,
+    /// Tombstoned slots (retired entries still occupying probe chains
+    /// until the next grow drops them).
+    pub tombstones: usize,
+    /// Present entries binned by displacement from their home slot
+    /// (`[0]` = direct hits; the last bucket absorbs the tail).
+    pub probe_histogram: [u64; PROBE_LIMIT],
+}
+
+impl SegmentOccupancy {
+    /// Fraction of the table occupied by present entries.
+    pub fn load_factor(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.capacity as f64
+        }
+    }
+
+    /// Mean probe length over present entries (1.0 = every key home).
+    pub fn mean_probe(&self) -> f64 {
+        if self.entries == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .probe_histogram
+            .iter()
+            .enumerate()
+            .map(|(d, n)| (d as u64 + 1) * n)
+            .sum();
+        weighted as f64 / self.entries as f64
+    }
+}
 /// Grow when a table is 3/4 full (counting tombstones, which occupy
 /// probe-chain positions until a grow drops them).
 const GROW_NUM: usize = 3;
@@ -394,6 +443,54 @@ impl<K, V> HashIndex<K, V> {
             .sum()
     }
 
+    /// Total slots across every segment's current table (retired tables
+    /// excluded): the denominator of the index's global load factor.
+    pub(crate) fn capacity(&self) -> usize {
+        self.segments.iter().map(|s| s.table().mask + 1).sum()
+    }
+
+    /// Installed NUMA segments (fixed at construction).
+    pub(crate) fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Weak per-segment occupancy snapshot (see [`SegmentOccupancy`]):
+    /// walks each segment's *current* table once, classifying slots and
+    /// binning present entries by probe displacement from their home
+    /// position. Concurrent publishes/invalidations may be half-observed —
+    /// the numbers are telemetry for sizing `index_capacity`, not an
+    /// invariant source.
+    pub(crate) fn occupancy(&self) -> Vec<SegmentOccupancy> {
+        self.segments
+            .iter()
+            .map(|seg| {
+                let table = seg.table();
+                let mut occ = SegmentOccupancy {
+                    capacity: table.mask + 1,
+                    used: table.used.load(Ordering::Relaxed).min(table.mask + 1),
+                    ..SegmentOccupancy::default()
+                };
+                for (i, slot) in table.slots.iter().enumerate() {
+                    let tag = slot.tag.load();
+                    if tag == TAG_TOMBSTONE {
+                        occ.tombstones += 1;
+                        continue;
+                    }
+                    if !tag_is_present(tag) {
+                        continue;
+                    }
+                    occ.entries += 1;
+                    // The probe walks forward from `sig & mask`, so the
+                    // wrapped distance from home is the entry's cost.
+                    let home = tag_sig(tag) & table.mask;
+                    let dist = i.wrapping_sub(home) & table.mask;
+                    occ.probe_histogram[dist.min(PROBE_LIMIT - 1)] += 1;
+                }
+                occ
+            })
+            .collect()
+    }
+
     /// Publishes `key -> (ptr, gen, aux)`. Best effort: a busy or full
     /// probe window drops the publish (and nudges the segment to grow).
     /// Callers pass a generation captured from the incarnation they just
@@ -539,7 +636,7 @@ impl<K: Ord, V> HashIndex<K, V> {
         // catch. See the `bug-injection` feature docs.
         #[cfg(feature = "bug-injection")]
         {
-            let _ = lazy;
+            let _ = (lazy, ctx);
             return IndexRead::Hit(node);
         }
         #[cfg(not(feature = "bug-injection"))]

@@ -31,7 +31,7 @@
 //! assert!(!h.contains(&7));
 //! ```
 
-use crate::batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome};
+use crate::batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome, CombinerTarget};
 use crate::graph::{HintChain, NodePtr, NodeRef, NodeRefHint, RangeIter, SkipGraph};
 use crate::index::IndexRead;
 use crate::local::{BTreeLocalMap, LocalMap, RobinHoodMap};
@@ -993,6 +993,35 @@ where
     }
 }
 
+impl<K, V> CombinerTarget<K, V> for LayeredHandle<'_, K, V>
+where
+    K: Ord + Hash + Clone,
+    V: Clone,
+{
+    type Outcome = BatchOutcome<K, V>;
+
+    fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+
+    /// The per-key hint-chained run: every operation resumes the previous
+    /// one's predecessor frontier, and freshly linked nodes defer their
+    /// shared-index publish until the whole run is executed.
+    fn combined_run(
+        &mut self,
+        work: Vec<(usize, usize, BatchOp<K, V>)>,
+        out: &mut dyn FnMut(usize, usize, BatchOutcome<K, V>),
+    ) {
+        let mut chain = HintChain::new();
+        let mut publishes = Vec::new();
+        for (si, oi, op) in work {
+            let o = self.combined_op(op, &mut chain, &mut publishes);
+            out(si, oi, o);
+        }
+        self.publish_run(&publishes);
+    }
+}
+
 /// A per-thread handle that routes every shared-structure operation
 /// through the map's NUMA-local flat-combining executor (built with
 /// [`LayeredMap::with_batching`]). Single-key calls are one-element
@@ -1155,6 +1184,20 @@ impl<K: Ord, V> LayeredMap<K, V> {
             map: self,
             ctx: ThreadCtx::plain(slot),
         }
+    }
+
+    /// Like [`read_only`](Self::read_only), but traversing under the
+    /// caller's context — pass a recording [`ThreadCtx`] to attribute the
+    /// view's searches, index probes, and range-start accelerations to an
+    /// [`instrument::AccessStats`] sink. The context's id selects the
+    /// membership vector and must name a registered slot.
+    pub fn read_only_with(&self, ctx: ThreadCtx) -> ReadOnlyView<'_, K, V> {
+        assert!(
+            (ctx.id() as usize) < self.config().num_threads,
+            "reader ctx id {} outside the registered set",
+            ctx.id()
+        );
+        ReadOnlyView { map: self, ctx }
     }
 }
 

@@ -68,11 +68,13 @@ pub mod local;
 
 /// The NUMA-local flat-combining batch executor (see [`batch`](combine)).
 pub use self::batch as combine;
-pub use batch::{BatchConfig, BatchExecutor, BatchOp, BatchOutcome, BatchedLayeredMap};
+pub use batch::{
+    BatchConfig, BatchExecutor, BatchOp, BatchOutcome, BatchedLayeredMap, CombinerTarget,
+};
 pub use graph::{
-    BlockedHandle, BlockedRangeIter, BlockedSkipMap, BlockedStats, HintChain, MemoryStats,
-    NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter, StructureStats, MAX_BLOCK_CAP,
-    MIN_BLOCK_CAP,
+    BlockPolicy, BlockedHandle, BlockedOutcome, BlockedRangeIter, BlockedSkipMap, BlockedStats,
+    HintChain, MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter,
+    StructureStats, MAX_BLOCK_CAP, MIN_BLOCK_CAP,
 };
 pub use layered::{CombiningHandle, LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};

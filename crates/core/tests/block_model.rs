@@ -13,7 +13,7 @@
 
 use instrument::ThreadCtx;
 use proptest::prelude::*;
-use skipgraph::{BlockedSkipMap, GraphConfig};
+use skipgraph::{BlockPolicy, BlockedSkipMap, GraphConfig};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -108,6 +108,74 @@ proptest! {
             let want: Vec<(u64, u64)> = model.range((sb, eb)).map(|(k, v)| (*k, *v)).collect();
             prop_assert_eq!(got, want, "range {:?}..{:?}", sb, eb);
         }
+        map.check_invariants(&ctx).map_err(TestCaseError::fail)?;
+    }
+
+    /// Anchor-cache differential: the same arbitrary-sequence contract as
+    /// `behaves_like_btreemap`, but routed through a [`BlockedHandle`] so
+    /// every point op resolves via the per-thread anchor cache first —
+    /// under compacting policies (non-default merge threshold and biased
+    /// split points, so splits *and* merges retire cached anchors
+    /// constantly) and, in half the cases, with reclamation on and
+    /// explicit grace-period flushes mid-sequence. A flush recycles the
+    /// retired anchors the cache still references, so subsequent hits
+    /// must die on the generation check; a cached anchor surviving past
+    /// a split/merge/recycle would answer the very next op from the
+    /// wrong block and diverge from the model immediately.
+    #[test]
+    fn anchor_cached_handle_behaves_like_btreemap(
+        ops in proptest::collection::vec((0u8..9, 0u64..48, 0u64..1000), 1..350),
+        policy_sel in 0u8..3,
+        reclaim: bool,
+    ) {
+        let (cap, policy) = match policy_sel {
+            0 => (2, BlockPolicy { split_left_pct: 50, merge_threshold: 1, fill_target: 2 }),
+            1 => (4, BlockPolicy { split_left_pct: 25, merge_threshold: 2, fill_target: 3 }),
+            _ => (4, BlockPolicy { split_left_pct: 75, merge_threshold: 1, fill_target: 4 }),
+        };
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::with_policy(
+            GraphConfig::new(2).reclaim(reclaim).chunk_capacity(256),
+            cap,
+            policy,
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0..=2 => {
+                    let expect = !model.contains_key(&k);
+                    prop_assert_eq!(h.insert(k, v), expect, "insert {}", k);
+                    if expect {
+                        model.insert(k, v);
+                    }
+                }
+                3 | 4 => prop_assert_eq!(
+                    h.remove(&k),
+                    model.remove(&k).is_some(),
+                    "remove {}",
+                    k
+                ),
+                5 | 6 => prop_assert_eq!(h.get(&k), model.get(&k).copied(), "get {}", k),
+                7 => prop_assert_eq!(h.contains(&k), model.contains_key(&k), "contains {}", k),
+                _ => {
+                    // Retire-and-recycle point: with reclamation on, every
+                    // anchor a split or merge has retired so far is now
+                    // recycled under a bumped generation while the handle
+                    // still caches a reference to the old incarnation.
+                    if reclaim {
+                        map.shared().reclaim_flush(h.ctx());
+                    }
+                }
+            }
+        }
+        // Final sweep through the (now maximally stale) anchor cache.
+        for k in 0..48u64 {
+            prop_assert_eq!(h.get(&k), model.get(&k).copied(), "final get {}", k);
+        }
+        let ctx = ThreadCtx::plain(1);
+        let got: Vec<(u64, u64)> = map.iter(&ctx).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
         map.check_invariants(&ctx).map_err(TestCaseError::fail)?;
     }
 }

@@ -139,3 +139,51 @@ fn concurrent_churn_with_reclaim_never_serves_stale_reads() {
     let stats = map.shared().memory_stats(&ctx);
     assert!(stats.index_bytes > 0, "index allocated no tables");
 }
+
+/// Occupancy telemetry: the per-segment snapshot must account for every
+/// live key (entries >= live keys, since lazy absence-tombstones also
+/// hold slots), stay within capacity, put every histogram entry within
+/// the probe limit, and agree with the aggregate `memory_stats` fields.
+#[test]
+fn occupancy_snapshot_accounts_for_published_keys() {
+    let map: LayeredMap<u64, u64> =
+        LayeredMap::new(GraphConfig::new(2).lazy(true).hash_index(true).index_capacity(1 << 12));
+    let mut h = map.register(ThreadCtx::plain(0));
+    const N: u64 = 3000;
+    for k in 0..N {
+        assert!(h.insert(k.wrapping_mul(0x9E37_79B9), k));
+    }
+    let ctx = ThreadCtx::plain(0);
+    let mem = map.shared().memory_stats(&ctx);
+    let occ = map.shared().index_occupancy();
+    assert_eq!(occ.len(), mem.index_segments, "segment count disagrees");
+    assert!(!occ.is_empty(), "indexed map reported no segments");
+    let capacity: usize = occ.iter().map(|s| s.capacity).sum();
+    assert_eq!(capacity, mem.index_capacity, "capacity disagrees");
+    // Publishes are best-effort (a full probe window drops the entry),
+    // so the snapshot may undercount live keys slightly — but never by
+    // much at this load factor, and never beyond what was published.
+    let entries: usize = occ.iter().map(|s| s.entries).sum();
+    assert!(
+        entries >= N as usize * 9 / 10,
+        "snapshot saw only {entries} entries for {N} live keys"
+    );
+    assert!(
+        entries <= mem.index_entries,
+        "snapshot saw more entries than were ever published"
+    );
+    for (i, seg) in occ.iter().enumerate() {
+        assert!(seg.entries + seg.tombstones <= seg.capacity, "segment {i} overfull");
+        assert!(seg.used <= seg.capacity, "segment {i} used > capacity");
+        let binned: u64 = seg.probe_histogram.iter().sum();
+        assert_eq!(binned as usize, seg.entries, "segment {i} histogram loses entries");
+        if seg.entries > 0 {
+            assert!(seg.mean_probe() >= 1.0, "segment {i} mean probe below 1");
+            assert!(
+                seg.mean_probe() <= skipgraph::index::PROBE_LIMIT as f64,
+                "segment {i} mean probe beyond the limit"
+            );
+            assert!(seg.load_factor() > 0.0 && seg.load_factor() <= 1.0);
+        }
+    }
+}

@@ -135,3 +135,53 @@ fn empty_map_ranges() {
     assert!(view.is_empty());
     assert_eq!(view.get(&1), None);
 }
+
+/// Index-accelerated range starts: with the shared hash index installed,
+/// a scan whose lower-bound key is present starts *at* the validated
+/// holder (no descent). Every bound flavor and staleness path must agree
+/// with `BTreeMap` — including bounds on removed keys (tombstoned index
+/// entries must fall back to the descent, not seed the walk with a dead
+/// node) and an inclusive start that is also past the last key.
+#[test]
+fn indexed_range_start_matches_btreemap_semantics() {
+    for lazy in [false, true] {
+        let map: LayeredMap<u64, u64> = LayeredMap::new(
+            GraphConfig::new(4).lazy(lazy).hash_index(true).chunk_capacity(1024),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        let mut model = BTreeMap::new();
+        for k in (0..200u64).step_by(2) {
+            assert!(h.insert(k, k + 1));
+            model.insert(k, k + 1);
+        }
+        for &k in &[20u64, 21, 150] {
+            h.remove(&k);
+            model.remove(&k);
+        }
+        // Lower bounds covering: present key, removed key (index
+        // tombstone), never-inserted odd key, before-first, past-last.
+        for lo in [0u64, 4, 20, 21, 33, 150, 198, 199, 500] {
+            for hi in [lo, lo + 1, lo + 40, 1000] {
+                let got = h.range_to_vec(Bound::Included(&lo), Bound::Excluded(hi));
+                let want: Vec<(u64, u64)> = model
+                    .range((Bound::Included(lo), Bound::Excluded(hi)))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(got, want, "lazy={lazy} incl range [{lo},{hi})");
+                let got = h.range_to_vec(Bound::Excluded(&lo), Bound::Included(hi));
+                let want: Vec<(u64, u64)> = model
+                    .range((Bound::Excluded(lo), Bound::Included(hi)))
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(got, want, "lazy={lazy} excl range ({lo},{hi}]");
+            }
+        }
+        // The read-only view shares the index path.
+        let view = map.read_only(1);
+        let got: Vec<u64> = view
+            .range(Bound::Included(&4), Bound::Excluded(10))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![4, 6, 8], "lazy={lazy} view scan");
+    }
+}

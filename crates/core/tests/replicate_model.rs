@@ -117,6 +117,76 @@ proptest! {
     }
 }
 
+/// Replay-batch compaction: a replica that drains a batch holding
+/// several operations on the same key applies one real op plus at most
+/// two reconciling writes, synthesizing the rest — and must be
+/// observably identical to a replica that applied every op. Socket 0
+/// drains per-op as it appends (its batches are singletons); socket 1
+/// stays behind until `sync`, so its one big drain sees the same-key
+/// runs and must collapse them (the counter proves the path ran).
+#[test]
+fn replayed_same_key_runs_collapse_without_changing_semantics() {
+    let map = replicated_reclaiming();
+    let mut w = map.register(ThreadCtx::plain(0));
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    // All values any live insert ever supplied per key (resurrection may
+    // legally serve an old incarnation — see the module docs).
+    let mut legal: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut x = 0xD1B5_4A32u64 | 1;
+    // Tiny key space + bursts of ops per key: every drained suffix on
+    // the lagging replica holds multi-op groups covering all the sim
+    // transitions (insert-after-remove, double remove, get of a value
+    // only a simulated insert supplied, trailing state of each flavor).
+    for round in 0..240u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 6;
+        match x / 8 % 4 {
+            0 | 1 => {
+                let expect = !model.contains(&k);
+                assert_eq!(w.insert(k, round), expect, "insert {k} round {round}");
+                if expect {
+                    model.insert(k);
+                    legal.entry(k).or_default().insert(round);
+                }
+            }
+            2 => assert_eq!(w.remove(&k), model.remove(&k), "remove {k}"),
+            _ => {
+                let got = w.get(&k);
+                assert_eq!(got.is_some(), model.contains(&k), "get {k} presence");
+                if let Some(v) = got {
+                    assert!(
+                        legal.get(&k).is_some_and(|s| s.contains(&v)),
+                        "get {k} served {v}, which no insert supplied"
+                    );
+                }
+            }
+        }
+    }
+    let stats = instrument::AccessStats::new(3);
+    let mut r = map.register(ThreadCtx::recording(1, stats.clone()));
+    r.sync();
+    assert!(
+        stats.totals().collapsed_ops > 0,
+        "lagging replica's catch-up saw no same-key runs to collapse"
+    );
+    for k in 0..6u64 {
+        let got = r.get(&k);
+        assert_eq!(
+            got.is_some(),
+            model.contains(&k),
+            "compacted replica disagrees on key {k} presence"
+        );
+        if let Some(v) = got {
+            assert!(
+                legal.get(&k).is_some_and(|s| s.contains(&v)),
+                "compacted replica serves {v} for {k}, which no insert supplied"
+            );
+        }
+    }
+}
+
 /// `sync` catches a replica up to *every* log head in one call. The
 /// observable contract: after a bulk load through socket 0 and one
 /// `sync` on socket 1, socket 1's reads are pure reads — replaying a

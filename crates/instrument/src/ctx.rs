@@ -30,6 +30,12 @@ struct ThreadCounters {
     log_lag_sum: AtomicU64,
     replay_batches: AtomicU64,
     replayed_ops: AtomicU64,
+    anchor_hits: AtomicU64,
+    anchor_groups: AtomicU64,
+    grouped_ops: AtomicU64,
+    bulk_blocks: AtomicU64,
+    bulk_entries: AtomicU64,
+    collapsed_ops: AtomicU64,
 }
 
 /// A read-only snapshot of one thread's scalar counters.
@@ -81,6 +87,24 @@ pub struct ThreadCounterSnapshot {
     pub replay_batches: u64,
     /// Operations applied inside those replay batches.
     pub replayed_ops: u64,
+    /// Point operations served by a validated anchor-cache entry (one
+    /// cached block reference answered for a key in its range, no
+    /// descent).
+    pub anchor_hits: u64,
+    /// Anchor groups formed by batched blocked runs (consecutive sorted
+    /// ops resolved to one covering anchor).
+    pub anchor_groups: u64,
+    /// Operations executed inside those groups;
+    /// `grouped_ops / anchor_groups` is the mean in-block apply width.
+    pub grouped_ops: u64,
+    /// Fresh blocks published by combiner bulk fills (one install CAS per
+    /// chain, `bulk_blocks` blocks total).
+    pub bulk_blocks: u64,
+    /// Entries that entered the map through those bulk-filled blocks.
+    pub bulk_entries: u64,
+    /// Replay operations elided by per-key batch compaction (last write
+    /// wins inside one drained replay batch).
+    pub collapsed_ops: u64,
 }
 
 /// Shared statistics sink for one experiment: thread-pair matrices plus
@@ -142,6 +166,12 @@ impl AccessStats {
             log_lag_sum: c.log_lag_sum.load(Ordering::Relaxed),
             replay_batches: c.replay_batches.load(Ordering::Relaxed),
             replayed_ops: c.replayed_ops.load(Ordering::Relaxed),
+            anchor_hits: c.anchor_hits.load(Ordering::Relaxed),
+            anchor_groups: c.anchor_groups.load(Ordering::Relaxed),
+            grouped_ops: c.grouped_ops.load(Ordering::Relaxed),
+            bulk_blocks: c.bulk_blocks.load(Ordering::Relaxed),
+            bulk_entries: c.bulk_entries.load(Ordering::Relaxed),
+            collapsed_ops: c.collapsed_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -178,6 +208,12 @@ impl AccessStats {
             t.log_lag_sum += s.log_lag_sum;
             t.replay_batches += s.replay_batches;
             t.replayed_ops += s.replayed_ops;
+            t.anchor_hits += s.anchor_hits;
+            t.anchor_groups += s.anchor_groups;
+            t.grouped_ops += s.grouped_ops;
+            t.bulk_blocks += s.bulk_blocks;
+            t.bulk_entries += s.bulk_entries;
+            t.collapsed_ops += s.collapsed_ops;
         }
         t
     }
@@ -461,6 +497,50 @@ impl ThreadCtx {
         }
     }
 
+    /// Records a point operation served by a validated anchor-cache entry
+    /// (a cached block reference covered the key; no descent was paid).
+    #[inline]
+    pub fn record_anchor_hit(&self) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .anchor_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one anchor group of `ops` consecutive sorted operations a
+    /// batched blocked run resolved to a single covering anchor.
+    #[inline]
+    pub fn record_anchor_group(&self, ops: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.anchor_groups.fetch_add(1, Ordering::Relaxed);
+            c.grouped_ops.fetch_add(ops, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one bulk block fill: `blocks` fresh blocks published in a
+    /// single install holding `entries` entries.
+    #[inline]
+    pub fn record_bulk_fill(&self, blocks: u64, entries: u64) {
+        if let Some(s) = &self.stats {
+            let c = &s.counters[self.id as usize];
+            c.bulk_blocks.fetch_add(blocks, Ordering::Relaxed);
+            c.bulk_entries.fetch_add(entries, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `ops` replay operations elided by per-key compaction of
+    /// one drained replay batch.
+    #[inline]
+    pub fn record_replay_collapsed(&self, ops: u64) {
+        if let Some(s) = &self.stats {
+            s.counters[self.id as usize]
+                .collapsed_ops
+                .fetch_add(ops, Ordering::Relaxed);
+        }
+    }
+
     /// True when any recording sink is attached (used by structures to skip
     /// assembling record arguments on the fast path).
     #[inline]
@@ -496,6 +576,10 @@ mod tests {
         ctx.record_index_stale();
         ctx.record_log_append(7);
         ctx.record_replay_batch(5);
+        ctx.record_anchor_hit();
+        ctx.record_anchor_group(4);
+        ctx.record_bulk_fill(2, 12);
+        ctx.record_replay_collapsed(3);
         assert_eq!(ctx.id(), 3);
         assert!(!ctx.is_recording());
         assert!(ctx.cache_counts().is_none());
@@ -597,6 +681,30 @@ mod tests {
         assert_eq!(totals.log_lag_sum, 8);
         assert_eq!(totals.replay_batches, 2);
         assert_eq!(totals.replayed_ops, 4);
+    }
+
+    #[test]
+    fn anchor_and_compaction_counters_accumulate() {
+        let stats = AccessStats::new(2);
+        let ctx = ThreadCtx::recording(1, stats.clone());
+        ctx.record_anchor_hit();
+        ctx.record_anchor_hit();
+        ctx.record_anchor_group(3);
+        ctx.record_anchor_group(5);
+        ctx.record_bulk_fill(2, 12);
+        ctx.record_replay_collapsed(7);
+        let t = stats.thread(1);
+        assert_eq!(t.anchor_hits, 2);
+        assert_eq!(t.anchor_groups, 2);
+        assert_eq!(t.grouped_ops, 8);
+        assert_eq!(t.bulk_blocks, 2);
+        assert_eq!(t.bulk_entries, 12);
+        assert_eq!(t.collapsed_ops, 7);
+        let totals = stats.totals();
+        assert_eq!(totals.anchor_hits, 2);
+        assert_eq!(totals.grouped_ops, 8);
+        assert_eq!(totals.bulk_entries, 12);
+        assert_eq!(totals.collapsed_ops, 7);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `batched_layered_sg` | lazy layered map behind the NUMA-local flat-combining executor |
 //! | `skipgraph` | the skip graph without layering |
 //! | `blocked_sg` | fat level-0 blocks (B-skiplist blocking) over the lazy skip graph |
+//! | `anchor_blocked_sg` | blocked map under the anchor-granular policy (compacting merges, left-biased splits) |
 //! | `hashed_sg` | layered map with the shared lock-free hash index (Skip Hash fast path) |
 //! | `replicated_sg` | per-socket replicas of the lazy hash-indexed map over partitioned operation logs |
 //! | `skiplist` | lock-free skip list with the relink optimization |
@@ -29,7 +30,7 @@ use baselines::{
 };
 use numa::{Placement, Topology};
 use skipgraph::{
-    BatchConfig, BatchedLayeredMap, BlockedSkipMap, GraphConfig, LayeredMap, ReplicaConfig,
+    BatchConfig, BatchedLayeredMap, BlockPolicy, BlockedSkipMap, GraphConfig, LayeredMap, ReplicaConfig,
     ReplicatedLayeredMap, SkipGraph,
 };
 use std::time::Duration;
@@ -45,6 +46,7 @@ pub const STRUCTURES: &[&str] = &[
     "batched_layered_sg",
     "skipgraph",
     "blocked_sg",
+    "anchor_blocked_sg",
     "hashed_sg",
     "replicated_sg",
     "skiplist",
@@ -145,6 +147,19 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
         // under the marked-pointer protocol (see `skipgraph::BlockedSkipMap`).
         "blocked_sg" => run_trial(
             &BlockedSkipMap::<u64, u64>::new(GraphConfig::new(t).chunk_capacity(cap), 8),
+            workload,
+            instr,
+        ),
+        // The blocked map under the anchor-granular policy: compacting
+        // merges (threshold 1) and leave-behind splits. This is also the
+        // configuration whose bug-injection arm severs the anchor cache's
+        // covering check (`blocked_sg` keeps the lost-insert arm instead).
+        "anchor_blocked_sg" => run_trial(
+            &BlockedSkipMap::<u64, u64>::with_policy(
+                GraphConfig::new(t).chunk_capacity(cap),
+                8,
+                BlockPolicy { split_left_pct: 65, merge_threshold: 1, fill_target: 6 },
+            ),
             workload,
             instr,
         ),

@@ -46,6 +46,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "batched_layered_sg",
     "skipgraph",
     "blocked_sg",
+    "anchor_blocked_sg",
     "hashed_sg",
     "replicated_sg",
     "skiplist",
@@ -438,6 +439,23 @@ macro_rules! with_structure {
                 let $map = skipgraph::BlockedSkipMap::<u64, u64>::new(
                     GraphConfig::new(t).chunk_capacity(cap),
                     4,
+                );
+                $body
+            }
+            "anchor_blocked_sg" => {
+                // The anchor-granular policy over the same small blocking
+                // factor: compacting merges (threshold 1) and left-biased
+                // splits keep the freeze/rebuild paths hot, and a nonzero
+                // threshold selects the anchor-cache bug-injection arm
+                // (severed covering check) instead of the lost-insert one.
+                let $map = skipgraph::BlockedSkipMap::<u64, u64>::with_policy(
+                    GraphConfig::new(t).chunk_capacity(cap),
+                    4,
+                    skipgraph::BlockPolicy {
+                        split_left_pct: 65,
+                        merge_threshold: 1,
+                        fill_target: 3,
+                    },
                 );
                 $body
             }

@@ -218,9 +218,10 @@ fn injected_blocked_lost_insert_is_caught_and_shrunk() {
     // present bit, so the key silently misses the survivor migration —
     // the lost-insert window a skipped post-split recheck would open.
     // The fault needs a freeze to land between a claim and its publish:
-    // a tiny key space keeps one cap-4 block churning through splits and
-    // merges, and a short round-robin quantum parks threads inside that
-    // window on every probed seed.
+    // a tiny key space keeps one block churning through splits and
+    // merges, and probing a few short round-robin quanta per seed parks
+    // threads inside that window (the exact alignment shifts whenever
+    // the handles' yield-point count changes, so probe, don't pin).
     let cfg = StressConfig {
         threads: 2,
         key_space: 4,
@@ -230,11 +231,13 @@ fn injected_blocked_lost_insert_is_caught_and_shrunk() {
         seed: 7,
     };
     let mut caught = None;
-    for det_seed in [1u64, 2, 3] {
-        let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum: 2 });
-        if let Err(report) = stress_named_det("blocked_sg", &cfg, &det) {
-            caught = Some(report);
-            break;
+    'probe: for quantum in [2u32, 3, 5] {
+        for det_seed in 1u64..=8 {
+            let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum });
+            if let Err(report) = stress_named_det("blocked_sg", &cfg, &det) {
+                caught = Some(report);
+                break 'probe;
+            }
         }
     }
     let report = caught.expect("blocked lost-insert injection went undetected on every schedule");
@@ -269,5 +272,59 @@ fn injected_blocked_lost_insert_is_caught_and_shrunk() {
 
     let text = format!("{report}");
     assert!(text.contains("blocked_sg"));
+    assert!(text.contains("replay:"));
+}
+
+#[test]
+fn injected_anchor_stale_covering_is_caught_and_shrunk() {
+    // The anchor cache's injected fault (compacting policies only, so
+    // each stress lane still carries exactly one live fault): a cached
+    // anchor that passes the liveness ladder is returned *without* the
+    // covering check. After splits mint anchors the cache has never
+    // seen, an op on a key past a cached block's range then lands inside
+    // the wrong block — an insert publishes where no descent will ever
+    // look, a lookup reports a present key absent. The key space spans
+    // several cap-4 blocks so evictions of split-killed anchors leave
+    // live-but-non-covering ones behind, and short round-robin quanta
+    // interleave the splits with the stale-cache ops.
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 12,
+        ops_per_thread: 60,
+        update_pct: 80,
+        preload: true,
+        seed: 19,
+    };
+    let mut caught = None;
+    for det_seed in [1u64, 2, 3, 4] {
+        let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum: 2 });
+        if let Err(report) = stress_named_det("anchor_blocked_sg", &cfg, &det) {
+            caught = Some(report);
+            break;
+        }
+    }
+    let report =
+        caught.expect("anchor stale-covering injection went undetected on every schedule");
+
+    let (shrunk_det, _trace) = report.schedule.clone().expect("det report without schedule");
+    assert!(matches!(shrunk_det.policy, Policy::Replay { .. }));
+    assert!(!report.failure.history.is_empty());
+
+    let total: usize = report.plans.iter().map(Vec::len).sum();
+    let original = cfg.threads as usize * cfg.ops_per_thread;
+    assert!(
+        total <= original / 2,
+        "shrinker left {total} of {original} ops: {report}"
+    );
+
+    let (records, _) =
+        records_named_det("anchor_blocked_sg", &report.config, &report.plans, &shrunk_det);
+    assert!(
+        synchro::stress::check_records(&records, &report.config).is_err(),
+        "shrunk report does not reproduce the violation:\n{report}"
+    );
+
+    let text = format!("{report}");
+    assert!(text.contains("anchor_blocked_sg"));
     assert!(text.contains("replay:"));
 }

@@ -239,6 +239,43 @@ fn hashed_index_pct_and_round_robin_linearize() {
     }
 }
 
+/// Deterministic-schedule stress of the anchor-granular blocked map:
+/// `anchor_blocked_sg` runs the blocked map under a compacting merge
+/// threshold and left-biased splits, so schedules interleave freezes,
+/// chain rebuilds, and merge unlinks against point ops that route
+/// through the per-thread anchor cache. A cached anchor surviving its
+/// covering check past a split (the exact fault the bug-injection arm
+/// plants) would surface as a lost or misplaced operation in the per-key
+/// histories.
+#[test]
+fn anchor_blocked_pct_and_round_robin_linearize() {
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 10,
+        ops_per_thread: 120,
+        update_pct: 80,
+        preload: true,
+        seed: 23,
+    };
+    let base = env_seed(1100);
+    for s in 0..4u64 {
+        let det = DetConfig::new(
+            base + s,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        stress_named_det("anchor_blocked_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("anchor_blocked_sg pct seed {}: {e}", base + s));
+    }
+    for quantum in [1u32, 3, 7] {
+        let det = DetConfig::new(base, Policy::RoundRobin { quantum });
+        stress_named_det("anchor_blocked_sg", &cfg, &det)
+            .unwrap_or_else(|e| panic!("anchor_blocked_sg round-robin quantum {quantum}: {e}"));
+    }
+}
+
 /// Deterministic-schedule stress of the per-socket replication layer:
 /// 4 threads on 2 synthetic sockets (`replicated_sg` builds a tiny
 /// 16-slot log with a lag bound of 12, so schedules reach wraparound and
