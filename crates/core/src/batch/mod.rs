@@ -145,6 +145,14 @@ pub trait CombinerTarget<K, V> {
     /// The recording context of the combining thread.
     fn ctx(&self) -> &ThreadCtx;
 
+    /// Workload-shape hint delivered before [`Self::combined_run`]: of
+    /// the batch's `inserts` insert operations, `ascending` arrived with
+    /// a key above the previous insert of the same publication slot —
+    /// measured *before* the combiner sorts, so it reflects the callers'
+    /// actual stream order. Default no-op; the blocked map feeds its
+    /// ascending-stream sensor from it (see `skipgraph::adapt`).
+    fn note_run(&mut self, _ascending: usize, _inserts: usize) {}
+
     /// Executes `work` — `(slot, op_index, op)` triples sorted by key
     /// (stable, so same-key ops keep per-slot submission order) — and
     /// delivers each outcome through `out` with the triple's identifiers.
@@ -363,6 +371,28 @@ impl<K: Ord, V, O> BatchExecutor<K, V, O> {
         }
         if work.is_empty() {
             return had_own.then(Vec::new);
+        }
+        // Pre-sort stream shape: count insert arrivals that ascend within
+        // their slot's submission order (the sort below erases it), and
+        // hand the ratio to the target's workload sensor.
+        {
+            let mut ascending = 0usize;
+            let mut inserts = 0usize;
+            let mut prev: Option<(usize, &K)> = None;
+            for (si, _, op) in &work {
+                if let BatchOp::Insert(k, _) = op {
+                    inserts += 1;
+                    if let Some((psi, pk)) = prev {
+                        if psi == *si && k > pk {
+                            ascending += 1;
+                        }
+                    }
+                    prev = Some((*si, k));
+                }
+            }
+            if inserts > 0 {
+                handle.note_run(ascending, inserts);
+            }
         }
         // Sorted run: ascending keys let every operation resume the
         // previous one's frontier (per-key hint chain or block anchor,

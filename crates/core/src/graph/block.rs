@@ -25,17 +25,24 @@
 //! * bits `0..16`  — *present* bitmap: slot holds a live entry,
 //! * bits `16..32` — *claimed* bitmap: slot is (or was) owned by a writer,
 //! * bit  `32`     — *frozen*: sticky; the block is being split or merged,
-//! * bits `33..39` — length of the sorted prefix written at block build.
+//! * bits `33..39` — length of the sorted prefix written at block build,
+//! * bits `39..55` — *tombstone* bitmap: slot's entry was removed; its
+//!   bytes are intact, so a re-insert of the same pair can resurrect it.
 //!
 //! Slots are write-once: a writer claims a slot (CAS), writes the pair,
 //! then publishes it (CAS setting the present bit — the insert's
-//! linearization point). Removal clears the present bit but keeps the
-//! claim, so published keys stay readable forever and the reader needs no
-//! per-slot synchronization. A block whose slots are exhausted is frozen
-//! (sticky bit) and replaced wholesale by one or two fresh blocks holding
-//! the surviving entries — the split —, or simply unlinked when nothing
-//! survives — the merge. Freezing makes the present bitmap immutable,
-//! which is what lets any helper compute the same survivor set.
+//! linearization point). Removal clears the present bit, sets the
+//! tombstone bit and keeps the claim, so published keys stay readable
+//! forever and the reader needs no per-slot synchronization. A re-insert
+//! of the *same key and value* may instead resurrect a tombstoned slot
+//! with one CAS (present on, tombstone off): the slot bytes never change,
+//! so no reader can observe a torn entry, and windowed same-key churn
+//! stops exhausting slots and freeze-splitting the block. A block whose
+//! slots are exhausted is frozen (sticky bit) and replaced wholesale by
+//! one or two fresh blocks holding the surviving entries — the split —,
+//! or simply unlinked when nothing survives — the merge. Freezing makes
+//! the present bitmap immutable, which is what lets any helper compute
+//! the same survivor set.
 //!
 //! # Coverage invariant
 //!
@@ -90,12 +97,14 @@
 //!   tombstone-clog merge threshold, and the bulk fill target.
 
 use super::{NodePtr, NodeRef, PinGuard, SkipGraph};
+use crate::adapt::{AdaptConfig, Hysteresis};
 use crate::batch::BatchOp;
 use crate::local::{BTreeLocalMap, LocalMap};
 use crate::node::Node;
 use crate::params::GraphConfig;
 use crate::sync::{FacadeAtomicUsize, TagPtr};
-use instrument::ThreadCtx;
+use instrument::{CounterWindow, ThreadCtx};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::cmp::Ordering as CmpOrdering;
 use std::marker::PhantomData;
 use std::ops::Bound;
@@ -118,6 +127,7 @@ const CLAIMED_SHIFT: u32 = 16;
 const FROZEN: usize = 1 << 32;
 const PREFIX_SHIFT: u32 = 33;
 const PREFIX_MASK: usize = 0x3F;
+const TOMB_SHIFT: u32 = 39;
 const FORWARD_OFFSET: usize = 8;
 const SLOTS_OFFSET: usize = 16;
 
@@ -136,6 +146,14 @@ fn present_bits(w: usize) -> usize {
 #[inline]
 fn claimed_bits(w: usize) -> usize {
     (w >> CLAIMED_SHIFT) & 0xFFFF
+}
+#[inline]
+fn tomb_bit(i: usize) -> usize {
+    1 << (TOMB_SHIFT + i as u32)
+}
+#[inline]
+fn tomb_bits(w: usize) -> usize {
+    (w >> TOMB_SHIFT) & 0xFFFF
 }
 #[inline]
 fn is_frozen(w: usize) -> bool {
@@ -306,11 +324,45 @@ pub struct BlockedSkipMap<K, V> {
     graph: SkipGraph<K, ()>,
     cap: usize,
     policy: BlockPolicy,
+    /// Ascending-stream controller (see [`crate::adapt`]); present when
+    /// the map was built with [`GraphConfig::adapt`]. While engaged,
+    /// splits cut at [`AdaptConfig::asc_split_left_pct`] (leave-behind)
+    /// instead of the static policy point.
+    asc: Option<AscState>,
     /// Drives deterministic anchor tower heights in sparse mode: the
     /// `n`-th anchor gets height `trailing_zeros(n)` (capped), i.e. the
     /// geometric distribution without per-thread RNG state.
     anchor_seq: FacadeAtomicUsize,
     _values: PhantomData<V>,
+}
+
+/// Sensor + controller for the ascending-stream split knob: a windowed
+/// ascending-arrival ratio (fed from per-handle insert streams and the
+/// combiner's pre-sort run shape) driving a dwell-guarded hysteresis
+/// gate. All words are relaxed `std` atomics — statistics, never
+/// synchronization — so deterministic schedules see no new yield points.
+struct AscState {
+    cfg: AdaptConfig,
+    window: CounterWindow,
+    gate: Hysteresis,
+    /// Completed gate switches (telemetry).
+    switches: AtomicU64,
+    /// Ascending percentage of the last closed window (telemetry).
+    last_asc_pct: AtomicU32,
+}
+
+/// Telemetry snapshot of the ascending-stream controller (see
+/// [`BlockedSkipMap::asc_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AscSnapshot {
+    /// Whether leave-behind splits are currently engaged.
+    pub engaged: bool,
+    /// Completed mode switches since construction.
+    pub switches: u64,
+    /// Ascending share of the last closed sensor window (percent).
+    pub last_asc_pct: u32,
+    /// Inserts recorded in the currently open window.
+    pub open_window_ops: u32,
 }
 
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for BlockedSkipMap<K, V> {}
@@ -359,13 +411,67 @@ where
         let config = config
             .lazy(true)
             .block_bytes(block_layout_bytes::<K, V>(cap));
+        let asc = config.adapt.map(|cfg| AscState {
+            cfg,
+            window: CounterWindow::new(),
+            gate: Hysteresis::new(cfg.asc_down_pct, cfg.asc_up_pct, cfg.dwell_windows),
+            switches: AtomicU64::new(0),
+            last_asc_pct: AtomicU32::new(0),
+        });
         Self {
             graph: SkipGraph::new_hashed(config),
             cap,
             policy,
+            asc,
             anchor_seq: FacadeAtomicUsize::new(1),
             _values: PhantomData,
         }
+    }
+
+    /// Feeds one insert arrival into the ascending-stream sensor
+    /// (`ascending` = the key exceeded the feeder's previous insert).
+    /// No-op without an [`GraphConfig::adapt`] configuration.
+    fn note_asc(&self, ascending: bool) {
+        let Some(a) = &self.asc else { return };
+        if let Some(sample) = a.window.record(ascending, a.cfg.window_ops) {
+            let pct = sample.flagged_pct();
+            a.last_asc_pct.store(pct, Relaxed);
+            if a.gate.observe(pct).is_some() {
+                a.switches.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Whether the ascending-stream controller currently selects
+    /// leave-behind splits.
+    pub fn asc_mode(&self) -> bool {
+        self.asc.as_ref().is_some_and(|a| a.gate.engaged())
+    }
+
+    /// Telemetry snapshot of the ascending-stream controller; `None`
+    /// without an [`GraphConfig::adapt`] configuration.
+    pub fn asc_state(&self) -> Option<AscSnapshot> {
+        self.asc.as_ref().map(|a| AscSnapshot {
+            engaged: a.gate.engaged(),
+            switches: a.switches.load(Relaxed),
+            last_asc_pct: a.last_asc_pct.load(Relaxed),
+            open_window_ops: a.window.open_window().total,
+        })
+    }
+
+    /// The split point in force right now: the adaptive leave-behind
+    /// point while the ascending gate is engaged, the static policy point
+    /// otherwise. Helpers racing a gate flip may compute different points
+    /// — harmless, the forward-word winner's replacement is canonical.
+    fn split_point_now(&self, len: usize) -> usize {
+        if let Some(a) = &self.asc {
+            if a.gate.engaged() {
+                return (len * a.cfg.asc_split_left_pct as usize)
+                    .div_ceil(100)
+                    .clamp(1, len - 1);
+            }
+        }
+        self.policy.split_point(len)
     }
 
     /// The blocking factor the map was built with.
@@ -555,7 +661,10 @@ where
     }
 
     /// Inserts `key -> value`; `false` if the key was present.
-    pub fn insert(&self, key: K, value: V, ctx: &ThreadCtx) -> bool {
+    pub fn insert(&self, key: K, value: V, ctx: &ThreadCtx) -> bool
+    where
+        V: PartialEq,
+    {
         let _pin = self.graph.pin(ctx);
         self.insert_pinned(key, value, None, ctx).0
     }
@@ -566,7 +675,10 @@ where
         value: V,
         mut start: Option<NonNull<BNode<K>>>,
         ctx: &ThreadCtx,
-    ) -> (bool, Option<NonNull<BNode<K>>>) {
+    ) -> (bool, Option<NonNull<BNode<K>>>)
+    where
+        V: PartialEq,
+    {
         loop {
             let anchor = match start.take().or_else(|| self.covering_anchor(&key, ctx)) {
                 Some(a) => a,
@@ -585,6 +697,34 @@ where
                 if is_frozen(w) {
                     self.help_split(anchor, ctx);
                     break usize::MAX; // retry from a fresh covering anchor
+                }
+                // Tombstone reuse: a re-insert of a removed (key, value)
+                // pair resurrects its slot in place — one CAS turns the
+                // present bit back on without consuming a fresh slot.
+                // The bytes never change (equality is checked first), so
+                // no reader can observe a torn entry; succeeding against
+                // an unfrozen word linearizes the insert exactly like the
+                // ordinary publish CAS (coverage invariant).
+                if tomb_bits(w) != 0 {
+                    if let Some(i) = self.scan_tomb(&blk, w, &key, &value) {
+                        if self.scan_present(&blk, w, &key).is_some() {
+                            // Duplicate (linearized at the load of `w`).
+                            return (false, Some(anchor));
+                        }
+                        match blk
+                            .control()
+                            .compare_exchange(w, (w & !tomb_bit(i)) | present_bit(i))
+                        {
+                            Ok(_) => {
+                                self.index_publish_slot(&key, anchor, i);
+                                return (true, Some(anchor));
+                            }
+                            Err(cur) => {
+                                w = cur;
+                                continue;
+                            }
+                        }
+                    }
                 }
                 let free = !claimed_bits(w) & slot_mask(self.cap);
                 if free == 0 {
@@ -684,14 +824,17 @@ where
                 let Some(i) = self.scan_present(&blk, w, key) else {
                     return (false, Some(anchor)); // linearized at the load of `w`
                 };
-                // Tombstone: clear the present bit, keep the claim (slots
-                // are write-once; the key stays readable forever).
-                match blk.control().compare_exchange(w, w & !present_bit(i)) {
+                // Tombstone: clear the present bit, set the tombstone bit,
+                // keep the claim (slots are write-once; the key stays
+                // readable forever, and a same-pair re-insert may
+                // resurrect the slot).
+                let tombed = (w & !present_bit(i)) | tomb_bit(i);
+                match blk.control().compare_exchange(w, tombed) {
                     Ok(_) => {
                         // The tombstone is published; drop the index entry
                         // so readers stop resolving to this slot.
                         self.index_invalidate_slot(key, anchor);
-                        let now = w & !present_bit(i);
+                        let now = tombed;
                         let live = present_bits(now).count_ones() as usize;
                         let clogged = live <= self.policy.merge_threshold
                             && !claimed_bits(now) & slot_mask(self.cap) == 0;
@@ -812,6 +955,21 @@ where
             rank += (unsafe { blk.key_at(i) } <= *key) as usize;
         }
         rank.checked_sub(1)
+    }
+
+    /// Index of the tombstoned slot holding exactly `(key, value)` under
+    /// control word `w` — the resurrection candidate. Value equality is
+    /// part of the contract: resurrecting flips bits only, so the slot
+    /// bytes must already be the pair being inserted.
+    fn scan_tomb(&self, blk: &Blk<K, V>, w: usize, key: &K, value: &V) -> Option<usize>
+    where
+        V: PartialEq,
+    {
+        (0..self.cap).find(|&i| {
+            w & tomb_bit(i) != 0
+                && unsafe { blk.key_at(i) } == *key
+                && unsafe { blk.read(i) }.1 == *value
+        })
     }
 
     /// Index of the present slot holding `key` under control word `w`.
@@ -951,7 +1109,7 @@ where
             } else {
                 let tail = TagPtr::clean(succ0);
                 let (n1, n2) = if survivors.len() > self.cap / 2 {
-                    let mid = self.policy.split_point(survivors.len());
+                    let mid = self.split_point_now(survivors.len());
                     let second = self.build_block(&survivors[mid..], tail, ctx);
                     let first = self.build_block(
                         &survivors[..mid],
@@ -1376,6 +1534,12 @@ where
                 if present_bits(w) & !claimed_bits(w) != 0 {
                     return Err(format!("present-but-unclaimed slot in {anchor_key:?}"));
                 }
+                if tomb_bits(w) & !claimed_bits(w) != 0 {
+                    return Err(format!("tombstone on unclaimed slot in {anchor_key:?}"));
+                }
+                if tomb_bits(w) & present_bits(w) != 0 {
+                    return Err(format!("slot both present and tombstoned in {anchor_key:?}"));
+                }
                 let succ_key: Option<K> = {
                     let s = unsafe { &*w0.ptr() };
                     s.is_data().then(|| *unsafe { s.key() })
@@ -1424,6 +1588,9 @@ pub struct BlockedHandle<'g, K, V> {
     map: &'g BlockedSkipMap<K, V>,
     ctx: ThreadCtx,
     anchors: BTreeLocalMap<K, NodeRef<K, ()>>,
+    /// This handle's previous inserted key — the per-thread feed of the
+    /// map's ascending-stream sensor (see [`BlockedSkipMap::asc_state`]).
+    last_insert_key: Option<K>,
 }
 
 impl<'g, K, V> BlockedHandle<'g, K, V>
@@ -1537,8 +1704,13 @@ where
     }
 
     /// Inserts `key -> value`; `false` if the key was present.
-    pub fn insert(&mut self, key: K, value: V) -> bool {
+    pub fn insert(&mut self, key: K, value: V) -> bool
+    where
+        V: PartialEq,
+    {
         self.ctx.record_op();
+        self.map.note_asc(self.last_insert_key.is_some_and(|p| key > p));
+        self.last_insert_key = Some(key);
         let _pin = self.map.graph.pin(&self.ctx);
         let start = self.start_for(&key);
         let (ok, anchor) = self.map.insert_pinned(key, value, start, &self.ctx);
@@ -1623,7 +1795,9 @@ where
         &mut self,
         work: Vec<(usize, usize, BatchOp<K, V>)>,
         out: &mut dyn FnMut(usize, usize, BlockedOutcome<V>),
-    ) {
+    ) where
+        V: PartialEq,
+    {
         debug_assert!(work.windows(2).all(|w| w[0].2.key() <= w[1].2.key()));
         let bulk_min = self.map.policy.fill_target.max(2);
         let mut chain: Option<NodeRef<K, ()>> = None;
@@ -1736,7 +1910,10 @@ where
     /// returning outcomes in submission order. The single-thread
     /// entry point to the anchor-granular path (the multi-thread one is
     /// the flat-combining executor's `CombinerTarget` plumbing).
-    pub fn execute_batch(&mut self, ops: Vec<BatchOp<K, V>>) -> Vec<BlockedOutcome<V>> {
+    pub fn execute_batch(&mut self, ops: Vec<BatchOp<K, V>>) -> Vec<BlockedOutcome<V>>
+    where
+        V: PartialEq,
+    {
         let n = ops.len();
         let mut work: Vec<(usize, usize, BatchOp<K, V>)> = ops
             .into_iter()
@@ -1757,12 +1934,24 @@ where
 impl<K, V> crate::batch::CombinerTarget<K, V> for BlockedHandle<'_, K, V>
 where
     K: Ord + Copy,
-    V: Copy,
+    V: Copy + PartialEq,
 {
     type Outcome = BlockedOutcome<V>;
 
     fn ctx(&self) -> &ThreadCtx {
         &self.ctx
+    }
+
+    /// Feeds the combiner's pre-sort run shape into the map's
+    /// ascending-stream sensor: each of the batch's inserts counts as one
+    /// arrival, `ascending` of them in arrival order.
+    fn note_run(&mut self, ascending: usize, inserts: usize) {
+        if self.map.asc.is_none() {
+            return;
+        }
+        for i in 0..inserts {
+            self.map.note_asc(i < ascending);
+        }
     }
 
     /// The anchor-granular run: see [`BlockedHandle::run_sorted`].
@@ -1807,6 +1996,7 @@ where
         BlockedHandle {
             map: self,
             ctx,
+            last_insert_key: None,
             anchors: BTreeLocalMap::default(),
         }
     }
@@ -2010,6 +2200,86 @@ mod tests {
         assert_eq!(claimed_bits(FROZEN), 0);
         assert_eq!(prefix_len(FROZEN), 0);
         assert_eq!(prefix_len(PREFIX_MASK << PREFIX_SHIFT), PREFIX_MASK);
+        // Tombstone bitmap: bits 39..55, disjoint from everything else.
+        let t = w | tomb_bit(2) | tomb_bit(15);
+        assert_eq!(tomb_bits(t), (1 << 2) | (1 << 15));
+        assert_eq!(present_bits(t), present_bits(w));
+        assert_eq!(claimed_bits(t), claimed_bits(w));
+        assert_eq!(prefix_len(t), prefix_len(w));
+        assert!(!is_frozen(t));
+        assert_eq!(tomb_bits(FROZEN), 0);
+        assert_eq!(tomb_bits(PREFIX_MASK << PREFIX_SHIFT), 0);
+        assert!(tomb_bit(MAX_BLOCK_CAP - 1) < 1 << 55, "tomb bits fit below bit 55");
+    }
+
+    #[test]
+    fn tombstone_reuse_absorbs_same_pair_churn() {
+        let ctx = ctx();
+        let map: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(cfg(1), 4);
+        for k in 0..4 {
+            assert!(map.insert(k, k * 10, &ctx));
+        }
+        assert_eq!(map.stats(&ctx).anchors, 1, "four entries fill one block");
+        // Windowed same-key churn on a slot-exhausted block: every
+        // re-insert must resurrect the tombstoned slot instead of
+        // freeze-splitting (the pre-reuse behavior split on the first
+        // re-insert because every slot was claimed).
+        for _ in 0..64 {
+            assert!(map.remove(&2, &ctx));
+            assert!(!map.contains(&2, &ctx));
+            assert!(map.insert(2, 20, &ctx));
+            assert_eq!(map.get(&2, &ctx), Some(20));
+        }
+        assert_eq!(map.stats(&ctx).anchors, 1, "churn must not split the block");
+        map.check_invariants(&ctx).unwrap();
+
+        // A different value cannot resurrect (the bytes would have to
+        // change under readers): the insert falls back to the split path
+        // and the new pair still lands correctly.
+        assert!(map.remove(&2, &ctx));
+        assert!(map.insert(2, 999, &ctx));
+        assert_eq!(map.get(&2, &ctx), Some(999));
+        for k in [0u64, 1, 3] {
+            assert_eq!(map.get(&k, &ctx), Some(k * 10));
+        }
+        map.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn ascending_gate_switches_to_leave_behind_splits() {
+        let adapt = AdaptConfig::new().window_ops(8).dwell_windows(0);
+        let plain: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(cfg(1), 4);
+        let adaptive: BlockedSkipMap<u64, u64> = BlockedSkipMap::new(cfg(1).adapt(adapt), 4);
+        assert!(!adaptive.asc_mode());
+        let mut hp = plain.register(ThreadCtx::plain(0));
+        let mut ha = adaptive.register(ThreadCtx::plain(0));
+        for k in 0..60u64 {
+            assert!(hp.insert(k, k));
+            assert!(ha.insert(k, k));
+        }
+        let st = adaptive.asc_state().expect("adapt configured");
+        assert!(st.engaged, "an all-ascending stream must engage the gate");
+        assert!(st.switches >= 1);
+        assert!(st.last_asc_pct >= 80, "got {}", st.last_asc_pct);
+        // Leave-behind splits (90/10) advance three keys per split where
+        // the static half split advances two — strictly fewer blocks for
+        // the same ascending load.
+        let ctx = ctx();
+        assert!(
+            adaptive.stats(&ctx).anchors < plain.stats(&ctx).anchors,
+            "leave-behind must produce fewer blocks: {} vs {}",
+            adaptive.stats(&ctx).anchors,
+            plain.stats(&ctx).anchors
+        );
+        for k in 0..60u64 {
+            assert_eq!(adaptive.get(&k, &ctx), Some(k));
+        }
+        adaptive.check_invariants(&ctx).unwrap();
+        // A descending stream disengages symmetrically.
+        for k in (100..160u64).rev() {
+            assert!(ha.insert(k, k));
+        }
+        assert!(!adaptive.asc_mode(), "descending stream must disengage");
     }
 
     #[test]

@@ -58,13 +58,14 @@
 //! chains stay within one segment's storage (first-touched by the
 //! building thread) instead of striding a single machine-wide array.
 
+use crate::adapt::AdaptConfig;
 use crate::node::Node;
-use instrument::ThreadCtx;
 use crate::sync::FacadeAtomicUsize;
+use instrument::{MeanWindow, ThreadCtx};
 use numa::{Placement, Topology};
 use std::hash::{Hash, Hasher};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 // Tag packing below folds a 32-bit generation and a 31-bit hash
@@ -85,15 +86,18 @@ pub const PROBE_LIMIT: usize = 16;
 
 /// Occupancy snapshot of one NUMA segment's current table — the tuning
 /// signal for [`crate::GraphConfig::index_capacity`]: `entries` near
-/// `capacity * 3/4` means the segment is about to grow, and mass in the
-/// histogram's upper buckets means probe chains (and thus point-read line
-/// costs) are long even though space remains.
+/// `capacity * occ_grow_pct / 100` (75% by default) means the segment is
+/// about to grow, and mass in the histogram's upper buckets means probe
+/// chains (and thus point-read line costs) are long even though space
+/// remains — the condition the windowed probe sensor turns into an early
+/// grow when [`crate::GraphConfig::adapt`] is set.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SegmentOccupancy {
     /// Slots in the current table (power of two).
     pub capacity: usize,
     /// Slots ever claimed from empty in this table, tombstones included
-    /// (the grow trigger compares this against `capacity * 3/4`).
+    /// (the grow trigger compares this against `capacity` scaled by the
+    /// occupancy threshold — 75% by default).
     pub used: usize,
     /// Present entries observed by the snapshot walk.
     pub entries: usize,
@@ -129,10 +133,13 @@ impl SegmentOccupancy {
         weighted as f64 / self.entries as f64
     }
 }
-/// Grow when a table is 3/4 full (counting tombstones, which occupy
-/// probe-chain positions until a grow drops them).
-const GROW_NUM: usize = 3;
-const GROW_DEN: usize = 4;
+/// Occupancy growth threshold when no [`AdaptConfig`] is attached: grow
+/// when a table is 75% full (counting tombstones, which occupy
+/// probe-chain positions until a grow drops them). With adaptation the
+/// threshold comes from [`AdaptConfig::occ_grow_pct`], and a windowed
+/// mean-probe sensor can grow the segment early (see
+/// [`HashIndex::publish`]).
+const DEFAULT_GROW_PCT: usize = 75;
 /// Smallest per-segment table; also the default when the configured
 /// capacity hint is `0` (auto).
 const MIN_SEGMENT_CAP: usize = 1 << 10;
@@ -237,6 +244,16 @@ struct Segment {
     /// Entries published (monotonic; `published - retired_entries`
     /// over-approximates the live entry count by lost/overwritten slots).
     published: AtomicUsize,
+    /// Windowed mean probe displacement of publishes (adaptive early
+    /// growth sensor; only fed when an [`AdaptConfig`] is attached).
+    probe_window: MeanWindow,
+    /// Consecutive closed windows whose mean probe met the growth
+    /// threshold — the dwell guard for probe-signal growth. Growth is a
+    /// one-way ratchet, so the degenerate one-sided form of the
+    /// [`crate::Hysteresis`] streak suffices.
+    probe_streak: AtomicU32,
+    /// Segment grows triggered by the probe signal alone (telemetry).
+    probe_grows: AtomicUsize,
 }
 
 impl Segment {
@@ -247,6 +264,9 @@ impl Segment {
             retired_tables: Mutex::new(Vec::new()),
             retired_entries: AtomicUsize::new(0),
             published: AtomicUsize::new(0),
+            probe_window: MeanWindow::new(),
+            probe_streak: AtomicU32::new(0),
+            probe_grows: AtomicUsize::new(0),
         }
     }
 
@@ -374,6 +394,9 @@ pub struct HashIndex<K, V> {
     segments: Box<[Segment]>,
     /// Shift applied to a key hash to select a segment.
     seg_shift: u32,
+    /// Adaptive growth thresholds; `None` keeps the static 75% trip-wire
+    /// and no probe sensing.
+    adapt: Option<AdaptConfig>,
     /// Type-erased deterministic hasher, captured where `K: Hash` was in
     /// scope so the graph core can publish and invalidate from `K: Ord`
     /// contexts (hooks in `ops.rs` / `graph/mod.rs`).
@@ -390,8 +413,9 @@ impl<K, V> HashIndex<K, V> {
     /// Builds an index with one segment per NUMA node of the detected
     /// topology (paper machine fallback), sized for `capacity_hint` total
     /// entries (`0` = auto). Requires `K: Hash` only here — every other
-    /// method runs through the captured hasher.
-    pub(crate) fn new(threads: usize, capacity_hint: usize) -> Self
+    /// method runs through the captured hasher. `adapt` configures the
+    /// growth policy; `None` keeps the static threshold.
+    pub(crate) fn new(threads: usize, capacity_hint: usize, adapt: Option<AdaptConfig>) -> Self
     where
         K: Hash,
     {
@@ -406,9 +430,20 @@ impl<K, V> HashIndex<K, V> {
         Self {
             segments: (0..segments).map(|_| Segment::new(per_seg)).collect(),
             seg_shift: 64 - segments.trailing_zeros(),
+            adapt,
             hash_of: hash_key::<K>,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Segment grows triggered by the windowed probe signal alone, i.e.
+    /// below the occupancy threshold (telemetry; always `0` without an
+    /// [`AdaptConfig`]).
+    pub(crate) fn probe_grows(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.probe_grows.load(Ordering::Relaxed))
+            .sum()
     }
 
     #[inline]
@@ -519,15 +554,50 @@ impl<K, V> HashIndex<K, V> {
                 s.aux.store(aux);
                 s.tag.store(tag);
                 seg.published.fetch_add(1, Ordering::Relaxed);
-                let used = table.used.load(Ordering::Relaxed);
-                if used * GROW_DEN > (table.mask + 1) * GROW_NUM {
-                    seg.grow();
-                }
+                self.after_publish(seg, table, i.wrapping_sub(sig) & table.mask);
                 return;
             }
             i = (i + 1) & table.mask;
         }
         // Probe window exhausted: grow (if allowed) and drop the publish.
+        seg.grow();
+    }
+
+    /// Post-publish growth policy. Two triggers:
+    ///
+    /// * **occupancy** — the share of ever-claimed slots crosses the
+    ///   threshold (the configured [`AdaptConfig::occ_grow_pct`], or the
+    ///   static 75% without adaptation);
+    /// * **probe signal** (adaptive only) — the windowed mean probe
+    ///   displacement of publishes meets [`AdaptConfig::probe_grow`] for
+    ///   `dwell_windows + 1` consecutive windows, growing early when an
+    ///   adversarial key mix clusters collisions below the occupancy
+    ///   threshold.
+    ///
+    /// The probe-exhaustion `grow()` at the end of [`Self::publish`]
+    /// remains the correctness backstop either way.
+    fn after_publish(&self, seg: &Segment, table: &Table, displacement: usize) {
+        let pct = self.adapt.map_or(DEFAULT_GROW_PCT, |a| a.occ_grow_pct as usize);
+        let used = table.used.load(Ordering::Relaxed);
+        if used * 100 > (table.mask + 1) * pct {
+            seg.grow();
+            return;
+        }
+        let Some(a) = self.adapt else { return };
+        let Some(mean) = seg.probe_window.record(displacement as u32, a.window_ops) else {
+            return;
+        };
+        if mean < a.probe_grow {
+            seg.probe_streak.store(0, Ordering::Relaxed);
+            return;
+        }
+        let streak = seg.probe_streak.load(Ordering::Relaxed) + 1;
+        if streak <= a.dwell_windows {
+            seg.probe_streak.store(streak, Ordering::Relaxed);
+            return;
+        }
+        seg.probe_streak.store(0, Ordering::Relaxed);
+        seg.probe_grows.fetch_add(1, Ordering::Relaxed);
         seg.grow();
     }
 
@@ -684,7 +754,7 @@ mod tests {
 
     #[test]
     fn publish_lookup_invalidate_roundtrip() {
-        let idx: HashIndex<u64, u64> = HashIndex::new(2, 1 << 12);
+        let idx: HashIndex<u64, u64> = HashIndex::new(2, 1 << 12, None);
         let p = dangling(1);
         idx.publish(&7, p, 42, 3);
         let e = idx.lookup_raw(&7).expect("published entry");
@@ -710,7 +780,7 @@ mod tests {
 
     #[test]
     fn republish_overwrites_generation() {
-        let idx: HashIndex<u64, u64> = HashIndex::new(1, 1 << 10);
+        let idx: HashIndex<u64, u64> = HashIndex::new(1, 1 << 10, None);
         let p = dangling(1);
         idx.publish(&5, p, 1, 0);
         idx.publish(&5, dangling(2), 9, 7);
@@ -722,7 +792,7 @@ mod tests {
 
     #[test]
     fn untargeted_invalidate_clears_any_holder() {
-        let idx: HashIndex<u64, u64> = HashIndex::new(1, 1 << 10);
+        let idx: HashIndex<u64, u64> = HashIndex::new(1, 1 << 10, None);
         idx.publish(&11, dangling(4), 5, 0);
         idx.invalidate(&11, None);
         assert!(idx.lookup_raw(&11).is_none());
@@ -731,7 +801,7 @@ mod tests {
     #[test]
     fn grows_past_the_initial_capacity() {
         let keys = if cfg!(miri) { 300u64 } else { 4_000 };
-        let idx: HashIndex<u64, u64> = HashIndex::new(1, 0);
+        let idx: HashIndex<u64, u64> = HashIndex::new(1, 0, None);
         for k in 0..keys {
             idx.publish(&k, dangling(1 + k as usize), k as u32, 0);
         }
@@ -750,6 +820,57 @@ mod tests {
             "only {hits}/{keys} entries survived growth"
         );
         assert!(idx.bytes() > 0);
+    }
+
+    #[test]
+    fn adaptive_occupancy_threshold_grows_earlier() {
+        // A 10% threshold must trigger growth far below the static 75%
+        // trip-wire: fill every (auto-sized, 4096-slot) segment to
+        // roughly a quarter and compare end capacities.
+        let keys = 2_000u64;
+        let static_idx: HashIndex<u64, u64> = HashIndex::new(1, 0, None);
+        let adaptive: HashIndex<u64, u64> =
+            HashIndex::new(1, 0, Some(AdaptConfig::new().occ_grow_pct(10)));
+        for k in 0..keys {
+            static_idx.publish(&k, dangling(1 + k as usize), 0, 0);
+            adaptive.publish(&k, dangling(1 + k as usize), 0, 0);
+        }
+        assert!(
+            adaptive.capacity() > static_idx.capacity(),
+            "10% threshold should have grown: {} vs {}",
+            adaptive.capacity(),
+            static_idx.capacity()
+        );
+    }
+
+    #[test]
+    fn probe_signal_grows_below_the_occupancy_threshold() {
+        // Drive the sensor directly with long displacements: the table
+        // stays empty (occupancy can never trigger), so the windowed
+        // mean-probe signal alone must grow the segment — and only after
+        // the dwell guard's `dwell + 1` consecutive qualifying windows.
+        let cfg = AdaptConfig::new().probe_grow(2).window_ops(16).dwell_windows(1);
+        let idx: HashIndex<u64, u64> = HashIndex::new(1, 0, Some(cfg));
+        let seg = &idx.segments[0];
+        let before = seg.table().mask + 1;
+        for _ in 0..16 {
+            idx.after_publish(seg, seg.table(), 5);
+        }
+        assert_eq!(seg.table().mask + 1, before, "dwell guard must hold the first window");
+        for _ in 0..16 {
+            idx.after_publish(seg, seg.table(), 5);
+        }
+        assert_eq!(seg.table().mask + 1, before * 2, "second qualifying window grows");
+        assert_eq!(idx.probe_grows(), 1, "growth must be attributed to the probe signal");
+        // A short-probe window resets the streak: one more qualifying
+        // window alone must not grow again.
+        for _ in 0..16 {
+            idx.after_publish(seg, seg.table(), 0);
+        }
+        for _ in 0..16 {
+            idx.after_publish(seg, seg.table(), 5);
+        }
+        assert_eq!(seg.table().mask + 1, before * 2, "a reset streak must re-dwell");
     }
 
     #[test]

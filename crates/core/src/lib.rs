@@ -49,6 +49,7 @@
 //! });
 //! ```
 
+pub mod adapt;
 pub mod batch;
 #[cfg(feature = "deterministic")]
 pub mod det;
@@ -68,19 +69,20 @@ pub mod local;
 
 /// The NUMA-local flat-combining batch executor (see [`batch`](combine)).
 pub use self::batch as combine;
+pub use adapt::{AdaptConfig, Hysteresis};
 pub use batch::{
     BatchConfig, BatchExecutor, BatchOp, BatchOutcome, BatchedLayeredMap, CombinerTarget,
 };
 pub use graph::{
-    BlockPolicy, BlockedHandle, BlockedOutcome, BlockedRangeIter, BlockedSkipMap, BlockedStats,
-    HintChain, MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph, SnapshotIter,
-    StructureStats, MAX_BLOCK_CAP, MIN_BLOCK_CAP,
+    AscSnapshot, BlockPolicy, BlockedHandle, BlockedOutcome, BlockedRangeIter, BlockedSkipMap,
+    BlockedStats, HintChain, MemoryStats, NodeRef, NodeRefHint, RangeIter, SkipGraph,
+    SnapshotIter, StructureStats, MAX_BLOCK_CAP, MIN_BLOCK_CAP,
 };
 pub use layered::{CombiningHandle, LayeredHandle, LayeredMap, ReadOnlyView};
 pub use map_api::{ConcurrentMap, MapHandle, SkipGraphHandle};
 pub use mvec::{default_max_level, MembershipStrategy};
 pub use params::{GraphConfig, DEFAULT_COMMISSION_FACTOR};
-pub use replicate::{ReplicaConfig, ReplicatedHandle, ReplicatedLayeredMap};
+pub use replicate::{AdaptSnapshot, ReplicaConfig, ReplicatedHandle, ReplicatedLayeredMap};
 
 /// Maximum supported tower height (levels `0..MAX_HEIGHT`).
 pub const MAX_HEIGHT: usize = node::MAX_HEIGHT;

@@ -209,7 +209,7 @@ impl<'g, K: Ord, V> MapHandle<K, V> for SkipGraphHandle<'g, K, V> {
 impl<K, V> ConcurrentMap<K, V> for crate::graph::BlockedSkipMap<K, V>
 where
     K: Ord + Copy + Send + Sync,
-    V: Copy + Send + Sync,
+    V: Copy + PartialEq + Send + Sync,
 {
     type Handle<'a>
         = crate::graph::BlockedHandle<'a, K, V>
@@ -224,7 +224,7 @@ where
 impl<'g, K, V> MapHandle<K, V> for crate::graph::BlockedHandle<'g, K, V>
 where
     K: Ord + Copy,
-    V: Copy,
+    V: Copy + PartialEq,
 {
     fn insert(&mut self, key: K, value: V) -> bool {
         crate::graph::BlockedHandle::insert(self, key, value)

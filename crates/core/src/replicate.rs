@@ -51,22 +51,153 @@
 //! append, replay, and catch-up at the same replayable granularity as the
 //! structure itself; the `replicated_sg` stress lanes run PCT and
 //! round-robin schedules over exactly this protocol.
+//!
+//! # Adaptive replication (`ReplicaConfig::adapt`)
+//!
+//! Per-socket replication amplifies every write into one apply per
+//! replica, so a write-heavy mix pays `sockets` applies for structures
+//! nobody is reading locally. With an [`AdaptConfig`] attached, the map
+//! senses its write ratio over op-count windows and switches — CNR-style
+//! — between two regimes published through one facade-atomic **epoch
+//! word** (`generation << 2 | mode`) that every operation validates like
+//! a generation tag:
+//!
+//! * **Replicated** (mode 0): the protocol above, verbatim.
+//! * **Single** (mode 2): writes still append to their key's log (the
+//!   total order must survive the mode switch) but carry home replica 0,
+//!   and *only replica 0 drains* — one apply per write, no fan-out.
+//!   Reads on every socket go straight to replica 0 with **no log wait**:
+//!   single-mode writes are synchronous to replica 0 before they return,
+//!   and the downshift drains every log to stability before publishing
+//!   the flip, so replica 0 already holds every completed operation.
+//! * Transitional modes guard the switches. **Down-drain** (mode 1,
+//!   replicated → single) drains every `(log, replica)` pair to
+//!   stability, so no completed write is stranded in a log replica 0
+//!   never saw. **Up-rebuild** (mode 3, single → replicated) drains
+//!   replica 0 to stability, snaps the retired tails to replica 0's
+//!   applied prefix, and rebuilds each replica by diffing bottom-list
+//!   snapshots (presence outcomes are replay-idempotent, so the suffix
+//!   the snapshot already covers may replay again without divergence).
+//!   Both transitions bump the generation, so a stale epoch can never
+//!   be revalidated (no ABA).
+//!
+//! Writers revalidate the epoch after winning their head claim; a claim
+//! that straddles a transition is **poisoned** (stamped with an
+//! out-of-band home so every drain skips it) and retried under the new
+//! epoch — each thread contributes at most one poison per transition, so
+//! the transition drains terminate. Readers in replicated-class modes
+//! re-check the epoch inside their tail-wait and restart the read on a
+//! change. A drain that finds a slot stamped by a *later* wrap aborts
+//! before applying anything: only retired replicas (whose tails no
+//! longer gate slot reuse) can observe that, and aborting is exactly the
+//! right behavior for their stale helpers.
 
+use crate::adapt::{AdaptConfig, Hysteresis};
 use crate::batch::{BatchOp, BatchOutcome};
 use crate::graph::{HintChain, NodeRef};
 use crate::layered::{LayeredHandle, LayeredMap};
 use crate::mvec::list_suffix;
 use crate::params::GraphConfig;
 use crate::sync::FacadeAtomicUsize;
-use instrument::ThreadCtx;
+use instrument::{CounterWindow, ThreadCtx};
 use std::cell::UnsafeCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// Pads to two cache lines so the log head, the per-replica tails, and the
 /// replay leases never false-share.
 #[repr(align(128))]
 struct Padded<T>(T);
+
+/// Epoch-word modes (low two bits; the rest is the generation). The bit
+/// layout is load-bearing: bit 1 set ⇔ reads go straight to replica 0
+/// (single-class), bit 0 set ⇔ a transition is in flight (writers wait).
+const MODE_REPLICATED: usize = 0;
+const MODE_DOWN_DRAIN: usize = 1;
+const MODE_SINGLE: usize = 2;
+const MODE_UP_REBUILD: usize = 3;
+const MODE_MASK: usize = 3;
+
+/// Reads in this epoch go straight to replica 0 (single or up-rebuild).
+fn single_class(epoch: usize) -> bool {
+    epoch & 2 != 0
+}
+
+/// A transition is in flight (down-drain or up-rebuild); writers wait.
+fn transitional(epoch: usize) -> bool {
+    epoch & 1 != 0
+}
+
+fn mode_name(epoch: usize) -> &'static str {
+    match epoch & MODE_MASK {
+        MODE_REPLICATED => "replicated",
+        MODE_DOWN_DRAIN => "down-drain",
+        MODE_SINGLE => "single",
+        MODE_UP_REBUILD => "up-rebuild",
+        _ => unreachable!("mode is two bits"),
+    }
+}
+
+/// Out-of-band `Pending::home` marking a poisoned slot: a claim that
+/// straddled an epoch transition, stamped so drains skip it (no apply, no
+/// result) and retried by its writer under the new epoch.
+const POISON_HOME: usize = usize::MAX;
+
+/// Shared adaptive-replication state: the write-ratio sensor window, the
+/// hysteresis gate deciding the intent, and relaxed telemetry counters
+/// (sensors and telemetry are plain `std` atomics — statistics, not
+/// synchronization — so the non-facade words add no det yield points).
+struct AdaptState {
+    cfg: AdaptConfig,
+    window: CounterWindow,
+    /// Engaged ⇔ the controller wants single-structure mode.
+    gate: Hysteresis,
+    downshifts: AtomicU64,
+    upshifts: AtomicU64,
+    windows: AtomicU64,
+    last_write_pct: AtomicU32,
+}
+
+impl AdaptState {
+    fn new(cfg: AdaptConfig) -> Self {
+        let gate = if cfg.start_single {
+            Hysteresis::engaged_at_start(cfg.write_up_pct, cfg.write_down_pct, cfg.dwell_windows)
+        } else {
+            Hysteresis::new(cfg.write_up_pct, cfg.write_down_pct, cfg.dwell_windows)
+        };
+        Self {
+            cfg,
+            window: CounterWindow::new(),
+            gate,
+            downshifts: AtomicU64::new(0),
+            upshifts: AtomicU64::new(0),
+            windows: AtomicU64::new(0),
+            last_write_pct: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of the adaptive replication state (telemetry for
+/// `examples/numa_heatmap` and the adaptation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptSnapshot {
+    /// Current epoch mode: `"replicated"`, `"down-drain"`, `"single"`,
+    /// or `"up-rebuild"`.
+    pub mode: &'static str,
+    /// Epoch generation (bumps once per completed transition).
+    pub generation: usize,
+    /// Completed replicated → single switches.
+    pub downshifts: u64,
+    /// Completed single → replicated switches.
+    pub upshifts: u64,
+    /// Closed sensor windows.
+    pub windows: u64,
+    /// Write percentage of the most recently closed window.
+    pub last_write_pct: u32,
+    /// Operations recorded in the currently open window.
+    pub open_window_ops: u32,
+}
 
 /// Replication geometry: thread→socket placement plus log shape.
 #[derive(Clone, Debug)]
@@ -77,6 +208,7 @@ pub struct ReplicaConfig {
     logs: usize,
     log_capacity: usize,
     max_lag: usize,
+    adapt: Option<AdaptConfig>,
 }
 
 impl ReplicaConfig {
@@ -111,6 +243,7 @@ impl ReplicaConfig {
             logs: 2,
             log_capacity: 256,
             max_lag: 192,
+            adapt: None,
         }
     }
 
@@ -140,6 +273,21 @@ impl ReplicaConfig {
         assert!(max_lag >= 1, "max_lag must be positive");
         self.max_lag = max_lag;
         self
+    }
+
+    /// Enables adaptive replication (see the module docs): the map
+    /// senses its write ratio and switches between the replicated and
+    /// single-structure regimes through the epoch protocol. `None` (the
+    /// default) keeps the static replicated protocol with zero added
+    /// coordination accesses.
+    pub fn adapt(mut self, cfg: AdaptConfig) -> Self {
+        self.adapt = Some(cfg);
+        self
+    }
+
+    /// The adaptive-replication thresholds, if enabled.
+    pub fn adapt_config(&self) -> Option<&AdaptConfig> {
+        self.adapt.as_ref()
     }
 
     /// Number of registered threads.
@@ -244,6 +392,11 @@ pub struct ReplicatedLayeredMap<K, V> {
     /// `log2(logs)` — the membership-vector level whose list families key
     /// the log partition.
     log_level: u8,
+    /// Adaptive-replication epoch word, `generation << 2 | mode` (see
+    /// the module docs). Never touched when `adapt` is `None`, so the
+    /// static protocol keeps its exact facade-access sequence.
+    epoch: Padded<FacadeAtomicUsize>,
+    adapt: Option<AdaptState>,
 }
 
 impl<K: Ord + Hash + Clone, V> ReplicatedLayeredMap<K, V> {
@@ -283,10 +436,16 @@ impl<K: Ord + Hash + Clone, V> ReplicatedLayeredMap<K, V> {
                 LayeredMap::new(cfg)
             })
             .collect();
+        let initial = match &rcfg.adapt {
+            Some(a) if a.start_single => MODE_SINGLE,
+            _ => MODE_REPLICATED,
+        };
         Self {
             replicas,
             logs: (0..rcfg.logs).map(|_| OpLog::new(rcfg.log_capacity, sockets)).collect(),
             log_level: rcfg.logs.trailing_zeros() as u8,
+            epoch: Padded(FacadeAtomicUsize::new(initial)),
+            adapt: rcfg.adapt.map(AdaptState::new),
             rcfg,
         }
     }
@@ -300,6 +459,22 @@ impl<K: Ord + Hash + Clone, V> ReplicatedLayeredMap<K, V> {
     /// flushes through this; production code never needs it).
     pub fn replicas(&self) -> &[LayeredMap<K, V>] {
         &self.replicas
+    }
+
+    /// Telemetry snapshot of the adaptive control loop, or `None` when
+    /// this map was built without [`ReplicaConfig::adapt`].
+    pub fn adapt_state(&self) -> Option<AdaptSnapshot> {
+        let ad = self.adapt.as_ref()?;
+        let epoch = self.epoch.0.load();
+        Some(AdaptSnapshot {
+            mode: mode_name(epoch),
+            generation: epoch >> 2,
+            downshifts: ad.downshifts.load(Relaxed),
+            upshifts: ad.upshifts.load(Relaxed),
+            windows: ad.windows.load(Relaxed),
+            last_write_pct: ad.last_write_pct.load(Relaxed),
+            open_window_ops: ad.window.open_window().total,
+        })
     }
 
     /// The log a key's operations append to: the level-`log2(logs)`
@@ -343,6 +518,7 @@ impl<K: Ord + Hash + Clone, V> ReplicatedLayeredMap<K, V> {
             map: self,
             socket,
             tid: tid as usize,
+            adaptive: self.adapt.is_some(),
             handles,
         }
     }
@@ -364,6 +540,10 @@ pub struct ReplicatedHandle<'m, K, V> {
     map: &'m ReplicatedLayeredMap<K, V>,
     socket: usize,
     tid: usize,
+    /// Cached `map.adapt.is_some()`: a plain field, so the static
+    /// protocol's paths branch on it without any facade access and keep
+    /// their det-schedule yield alignment untouched.
+    adaptive: bool,
     handles: Vec<LayeredHandle<'m, K, V>>,
 }
 
@@ -396,8 +576,24 @@ where
 
     /// Membership test served entirely by the socket-local replica after
     /// the NR read rule (catch the local tail up to the mapped log's
-    /// head).
+    /// head). In an adaptive map's single-class epochs the read goes
+    /// straight to replica 0 instead — no log wait, because every
+    /// completed operation is already applied there (see the module
+    /// docs' transition argument).
     pub fn contains(&mut self, key: &K) -> bool {
+        if self.adaptive {
+            self.sense(false);
+            loop {
+                let epoch = self.map.epoch.0.load();
+                if single_class(epoch) {
+                    return self.handles[0].contains(key);
+                }
+                let li = self.map.log_of(key);
+                if self.wait_local_valid(li, epoch) {
+                    return self.handles[self.socket].contains(key);
+                }
+            }
+        }
         let li = self.map.log_of(key);
         self.catch_up_for_read(li);
         self.handles[self.socket].contains(key)
@@ -416,6 +612,19 @@ where
     /// need cross-socket value agreement should keep values immutable
     /// per key or key them by version.
     pub fn get(&mut self, key: &K) -> Option<V> {
+        if self.adaptive {
+            self.sense(false);
+            loop {
+                let epoch = self.map.epoch.0.load();
+                if single_class(epoch) {
+                    return self.handles[0].get(key);
+                }
+                let li = self.map.log_of(key);
+                if self.wait_local_valid(li, epoch) {
+                    return self.handles[self.socket].get(key);
+                }
+            }
+        }
         let li = self.map.log_of(key);
         self.catch_up_for_read(li);
         self.handles[self.socket].get(key)
@@ -427,6 +636,22 @@ where
     /// once after a bulk load so the replay debt is not paid inside a
     /// measured (or latency-sensitive) read path.
     pub fn sync(&mut self) {
+        if self.adaptive {
+            'epoch: loop {
+                let epoch = self.map.epoch.0.load();
+                if single_class(epoch) {
+                    // Replica 0 is synchronously maintained by every
+                    // completed single-mode write; nothing to replay.
+                    return;
+                }
+                for li in 0..self.map.logs.len() {
+                    if !self.wait_local_valid(li, epoch) {
+                        continue 'epoch;
+                    }
+                }
+                return;
+            }
+        }
         for li in 0..self.map.logs.len() {
             self.catch_up_for_read(li);
         }
@@ -435,6 +660,9 @@ where
     /// Appends `op` to its key's log and waits (helping) until the home
     /// replica applied it; returns the operation's set-semantics outcome.
     fn update(&mut self, op: BatchOp<K, V>) -> bool {
+        if self.adaptive {
+            return self.update_adaptive(op);
+        }
         let map = self.map;
         let li = map.log_of(op.key());
         let log = &map.logs[li];
@@ -521,6 +749,328 @@ where
         }
     }
 
+    /// The adaptive append path: claims a slot under a validated epoch,
+    /// homing the op at replica 0 in single-class epochs; a claim that
+    /// straddles a transition is poisoned and retried. The result wait
+    /// always helps the *captured* home's lease — in single mode every
+    /// writer self-serves replica 0, and under the injected severed
+    /// drain a stranded replicated-era writer still self-serves its own
+    /// replica instead of hanging.
+    fn update_adaptive(&mut self, op: BatchOp<K, V>) -> bool {
+        self.sense(true);
+        let map = self.map;
+        let li = map.log_of(op.key());
+        let log = &map.logs[li];
+        self.ctx().record_op();
+        loop {
+            // Claim, lag-bounded against the tails that still gate slot
+            // reuse in the current epoch: every tail when replicated
+            // (and down-draining), replica 0's alone once single-class —
+            // retired tails stop moving and would freeze the log.
+            let mut spins = 0u32;
+            let (pos, epoch) = loop {
+                let epoch = map.epoch.0.load();
+                if transitional(epoch) {
+                    // A transition is redirecting the log; wait it out.
+                    spins = spins.wrapping_add(1);
+                    if spins < 16 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+                let min = if single_class(epoch) {
+                    log.tails[0].0.load()
+                } else {
+                    log.min_tail()
+                };
+                let head = log.head.0.load();
+                if head - min >= map.rcfg.max_lag {
+                    let target = if single_class(epoch) { 0 } else { log.laggiest() };
+                    self.try_replay(li, target);
+                    spins = spins.wrapping_add(1);
+                    if spins < 16 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
+                if log.head.0.compare_exchange(head, head + 1).is_ok() {
+                    self.ctx().record_log_append((head - min) as u64);
+                    break (head, epoch);
+                }
+            };
+            let slot = &log.slots[pos & log.mask];
+            // Revalidate the epoch the claim was made under. A mismatch
+            // means a transition CAS landed between the claim-loop load
+            // and here: the home decision below could disagree with who
+            // drains in the new epoch, so stamp the slot poisoned (seq
+            // must advance — drains spin on it) and retry under the new
+            // epoch. Generations make the comparison ABA-proof.
+            if map.epoch.0.load() != epoch {
+                unsafe {
+                    *slot.op.get() = Some(Pending { home: POISON_HOME, op: op.clone() })
+                };
+                slot.seq.store(pos + 1);
+                continue;
+            }
+            let home = if single_class(epoch) { 0 } else { self.socket };
+            unsafe { *slot.op.get() = Some(Pending { home, op: op.clone() }) };
+            slot.seq.store(pos + 1);
+            // Result wait with the same inline-lease self-consume as the
+            // static path (see `update` for the self-deadlock argument).
+            let mut spins = 0u32;
+            loop {
+                let r = slot.result.load();
+                if r >> 1 == pos + 1 {
+                    slot.result.store(0);
+                    return r & 1 == 1;
+                }
+                if log.leases[home].0.compare_exchange(0, self.tid + 1).is_ok() {
+                    let r = slot.result.load();
+                    if r >> 1 == pos + 1 {
+                        slot.result.store(0);
+                        log.leases[home].0.store(0);
+                        return r & 1 == 1;
+                    }
+                    self.drain(li, home);
+                    log.leases[home].0.store(0);
+                }
+                spins = spins.wrapping_add(1);
+                if spins < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The replicated-class read wait, epoch-validated: waits for the
+    /// local tail to pass the mapped log's head as `catch_up_for_read`
+    /// does, but re-checks the epoch word on every wait iteration and
+    /// returns `false` (restart the read) the moment it moves — the
+    /// local replica may be retiring, and the single-class path must
+    /// take over.
+    fn wait_local_valid(&mut self, li: usize, epoch: usize) -> bool {
+        let log = &self.map.logs[li];
+        let head = log.head.0.load();
+        let mut spins = 0u32;
+        while log.tails[self.socket].0.load() < head {
+            if self.map.epoch.0.load() != epoch {
+                return false;
+            }
+            self.try_replay(li, self.socket);
+            spins = spins.wrapping_add(1);
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Feeds the write-ratio sensor; the op that closes a window runs
+    /// the hysteresis gate and reconciles the epoch with its intent.
+    fn sense(&mut self, is_write: bool) {
+        let Some(ad) = &self.map.adapt else { return };
+        let Some(sample) = ad.window.record(is_write, ad.cfg.window_ops) else {
+            return;
+        };
+        let pct = sample.flagged_pct();
+        ad.last_write_pct.store(pct, Relaxed);
+        ad.windows.fetch_add(1, Relaxed);
+        ad.gate.observe(pct);
+        self.reconcile();
+    }
+
+    /// Drives the epoch toward the gate's intent. Called at window close;
+    /// also self-heals a switch whose transition CAS was lost to a race
+    /// (the next window re-attempts it).
+    fn reconcile(&mut self) {
+        let ad = self.map.adapt.as_ref().expect("reconcile is adaptive-only");
+        let want_single = ad.gate.engaged();
+        let epoch = self.map.epoch.0.load();
+        if transitional(epoch) || single_class(epoch) == want_single {
+            return;
+        }
+        if want_single {
+            self.downshift(epoch);
+        } else {
+            self.upshift(epoch);
+        }
+    }
+
+    /// Replicated → single. Publishes the down-drain mode (one winner),
+    /// drains every `(log, replica)` pair to stability — no completed
+    /// write may be stranded in a suffix replica 0 never applied, since
+    /// single-class reads serve replica 0 directly — then publishes the
+    /// single epoch with a bumped generation.
+    fn downshift(&mut self, epoch: usize) {
+        let map = self.map;
+        if map
+            .epoch
+            .0
+            .compare_exchange(epoch, epoch | MODE_DOWN_DRAIN)
+            .is_err()
+        {
+            return;
+        }
+        // Injected bug (`--features bug-injection`): sever the
+        // drain-before-switch, flipping straight to single mode. A write
+        // homed on another socket that completed before the flip (its
+        // own replica applied it) is then invisible to the direct
+        // replica-0 reads until some later single-mode write happens to
+        // drain that log — a non-linearizable read window the adaptive
+        // det stress lane catches and shrinks.
+        #[cfg(not(feature = "bug-injection"))]
+        self.drain_all_until_stable();
+        map.epoch.0.store((epoch & !MODE_MASK) + 4 + MODE_SINGLE);
+        let ad = map.adapt.as_ref().expect("downshift is adaptive-only");
+        ad.downshifts.fetch_add(1, Relaxed);
+    }
+
+    /// Single → replicated. Publishes up-rebuild (one winner), drains
+    /// every log into replica 0 to stability, snaps the retired tails to
+    /// replica 0's applied prefix, rebuilds each replica to replica 0's
+    /// key set by a two-snapshot diff, then publishes the replicated
+    /// epoch with a bumped generation. Writers sit out the transitional
+    /// mode, so the rebuild races only stale readers — which the layered
+    /// map tolerates structurally, and which linearize because the diff
+    /// only applies completed operations' effects. Presence outcomes are
+    /// replay-idempotent, so the post-flip drains may replay a suffix
+    /// the snapshot already covered without divergence; shared keys keep
+    /// the replica's own value (the documented value-consistency
+    /// caveat).
+    fn upshift(&mut self, epoch: usize) {
+        let map = self.map;
+        if map
+            .epoch
+            .0
+            .compare_exchange(epoch, epoch | 1) // MODE_SINGLE -> MODE_UP_REBUILD
+            .is_err()
+        {
+            return;
+        }
+        let mut spins = 0u32;
+        loop {
+            let mut stable = true;
+            for li in 0..map.logs.len() {
+                let log = &map.logs[li];
+                if log.tails[0].0.load() < log.head.0.load() {
+                    stable = false;
+                    self.try_replay(li, 0);
+                }
+            }
+            if stable {
+                break;
+            }
+            spins = spins.wrapping_add(1);
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Snap the retired tails *before* the snapshots: every op past
+        // replica 0's applied prefix replays into the rebuilt replicas
+        // through the normal post-flip drains, and replaying ops the
+        // snapshot already includes cannot change presence outcomes.
+        for log in &map.logs {
+            let applied = log.tails[0].0.load();
+            for tail in log.tails.iter().skip(1) {
+                tail.0.store(applied);
+            }
+        }
+        for r in 1..map.replicas.len() {
+            let (to_insert, to_remove) = {
+                let mut want = map.replicas[0]
+                    .shared()
+                    .iter_snapshot(self.handles[0].ctx())
+                    .peekable();
+                let mut have = map.replicas[r]
+                    .shared()
+                    .iter_snapshot(self.handles[r].ctx())
+                    .peekable();
+                let mut ins: Vec<(K, V)> = Vec::new();
+                let mut del: Vec<K> = Vec::new();
+                loop {
+                    match (want.peek(), have.peek()) {
+                        (Some((kw, _)), Some((kh, _))) => match kw.cmp(kh) {
+                            std::cmp::Ordering::Less => {
+                                let (k, v) = want.next().expect("peeked");
+                                ins.push((k.clone(), v.clone()));
+                            }
+                            std::cmp::Ordering::Greater => {
+                                let (k, _) = have.next().expect("peeked");
+                                del.push(k.clone());
+                            }
+                            std::cmp::Ordering::Equal => {
+                                want.next();
+                                have.next();
+                            }
+                        },
+                        (Some(_), None) => {
+                            let (k, v) = want.next().expect("peeked");
+                            ins.push((k.clone(), v.clone()));
+                        }
+                        (None, Some(_)) => {
+                            let (k, _) = have.next().expect("peeked");
+                            del.push(k.clone());
+                        }
+                        (None, None) => break,
+                    }
+                }
+                (ins, del)
+            };
+            let handle = &mut self.handles[r];
+            for k in to_remove {
+                handle.remove(&k);
+            }
+            for (k, v) in to_insert {
+                handle.insert(k, v);
+            }
+        }
+        map.epoch.0.store((epoch & !MODE_MASK) + 4); // gen+1, MODE_REPLICATED
+        let ad = map.adapt.as_ref().expect("upshift is adaptive-only");
+        ad.upshifts.fetch_add(1, Relaxed);
+    }
+
+    /// Drains every `(log, replica)` pair until all tails meet their
+    /// heads. Terminates under the down-drain epoch: claims straddling
+    /// the transition poison themselves and retry into the transitional
+    /// wait, so each thread adds at most one slot after the mode
+    /// publish.
+    #[cfg_attr(feature = "bug-injection", allow(dead_code))]
+    fn drain_all_until_stable(&mut self) {
+        let map = self.map;
+        let mut spins = 0u32;
+        loop {
+            let mut stable = true;
+            for li in 0..map.logs.len() {
+                let log = &map.logs[li];
+                for r in 0..map.replicas.len() {
+                    if log.tails[r].0.load() < log.head.0.load() {
+                        stable = false;
+                        self.try_replay(li, r);
+                    }
+                }
+            }
+            if stable {
+                return;
+            }
+            spins = spins.wrapping_add(1);
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// NR read rule: load the mapped log's head once, and if the local
     /// replica's tail trails it, replay (or wait on whoever holds the
     /// lease) until the tail passes it. One shared load per read — the
@@ -591,7 +1141,20 @@ where
             // claim and stamp we spin (each facade load is a det yield),
             // yielding the OS thread once the claimer looks descheduled.
             let mut spins = 0u32;
-            while slot.seq.load() != pos + 1 {
+            loop {
+                let seq = slot.seq.load();
+                if seq == pos + 1 {
+                    break;
+                }
+                // A stamp from a later wrap: the log lapped this drain.
+                // Only a replica retired by a single-class epoch can
+                // observe this (its tail no longer gates slot reuse), so
+                // the drainer is a stale helper — abort before applying
+                // or publishing anything; the tail stays put and the
+                // caller revalidates its epoch.
+                if seq > pos + 1 {
+                    return;
+                }
                 spins = spins.wrapping_add(1);
                 if spins < 16 {
                     std::hint::spin_loop();
@@ -600,7 +1163,12 @@ where
                 }
             }
             let p = unsafe { (*slot.op.get()).as_ref() }.expect("stamped slot holds an op");
-            batch.push((pos, p.home, p.op.clone()));
+            // Poisoned slots (a claim that straddled an epoch transition)
+            // advance the tail but are never applied; their writer
+            // retried under the new epoch.
+            if p.home != POISON_HOME {
+                batch.push((pos, p.home, p.op.clone()));
+            }
         }
         // Stable sort: same-key operations keep log order, so every
         // replica applies the same per-key history (set-semantics outcomes
@@ -875,6 +1443,134 @@ mod tests {
             assert!(l < 4);
             assert_eq!(l, map.log_of(&k), "same key, same log");
         }
+    }
+
+    #[test]
+    fn adaptive_downshifts_on_writes_and_upshifts_on_reads() {
+        let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+            config(1),
+            ReplicaConfig::uniform(1, 2)
+                .logs(1)
+                .adapt(AdaptConfig::new().window_ops(8).dwell_windows(0)),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        assert_eq!(map.adapt_state().unwrap().mode, "replicated");
+        // Pure-write windows: 100% >= the 60% downshift threshold.
+        for i in 0..64u64 {
+            assert!(h.insert(i, i * 2));
+        }
+        let s = map.adapt_state().unwrap();
+        assert_eq!(s.mode, "single");
+        assert_eq!(s.downshifts, 1);
+        assert!(s.windows >= 8);
+        assert_eq!(s.last_write_pct, 100);
+        // Single-mode reads serve replica 0 directly and see every write.
+        for i in 0..8u64 {
+            assert_eq!(h.get(&i), Some(i * 2));
+        }
+        // Pure-read windows: 0% <= the 40% upshift threshold.
+        for i in 0..64u64 {
+            assert!(h.contains(&i), "key {i} lost across a transition");
+        }
+        let s = map.adapt_state().unwrap();
+        assert_eq!(s.mode, "replicated");
+        assert_eq!(s.upshifts, 1);
+        assert_eq!(s.generation, 2, "each completed switch bumps the generation");
+        // The rebuilt replicas answer replicated-class reads correctly.
+        for i in 0..64u64 {
+            assert_eq!(h.get(&i), Some(i * 2));
+        }
+        assert!(!h.contains(&999));
+    }
+
+    #[test]
+    fn adaptive_churn_across_transitions_matches_a_model() {
+        // Mode flaps every few windows while inserts and removes churn a
+        // small key space over a tiny wrapping log; set semantics must
+        // track the sequential model exactly.
+        let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+            config(1),
+            ReplicaConfig::uniform(1, 2)
+                .logs(2)
+                .log_capacity(8)
+                .max_lag(4)
+                .adapt(AdaptConfig::new().window_ops(4).dwell_windows(0)),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 9u64;
+        for step in 0..600u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 33) % 12;
+            match (x >> 7) % 3 {
+                0 => assert_eq!(h.insert(k, step), model.insert(k, step).is_none(), "step {step}"),
+                1 => assert_eq!(h.remove(&k), model.remove(&k).is_some(), "step {step}"),
+                _ => assert_eq!(h.contains(&k), model.contains_key(&k), "step {step}"),
+            }
+        }
+        let s = map.adapt_state().unwrap();
+        assert!(s.downshifts >= 1 && s.upshifts >= 1, "workload must flap modes: {s:?}");
+        for k in 0..12u64 {
+            assert_eq!(h.contains(&k), model.contains_key(&k), "final key {k}");
+        }
+    }
+
+    #[test]
+    fn start_single_pins_the_mode_with_an_unclosable_window() {
+        let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+            config(1),
+            ReplicaConfig::uniform(1, 2)
+                .logs(1)
+                .adapt(AdaptConfig::new().window_ops(u32::MAX).start_single(true)),
+        );
+        let mut h = map.register(ThreadCtx::plain(0));
+        for i in 0..100u64 {
+            assert!(h.insert(i, i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(h.get(&i), Some(i));
+        }
+        let s = map.adapt_state().unwrap();
+        assert_eq!(s.mode, "single");
+        assert_eq!((s.downshifts, s.upshifts, s.windows), (0, 0, 0));
+    }
+
+    #[test]
+    fn adaptive_read_your_writes_across_threads_and_sockets() {
+        // The writer's burst downshifts to single mode mid-stream; the
+        // reader on the other socket must still see every write.
+        let map: ReplicatedLayeredMap<u64, u64> = ReplicatedLayeredMap::new(
+            config(2),
+            ReplicaConfig::uniform(2, 2)
+                .logs(2)
+                .adapt(AdaptConfig::new().window_ops(8).dwell_windows(0)),
+        );
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = map.register(ThreadCtx::plain(0));
+                for i in 0..48u64 {
+                    assert!(w.insert(i, i * 3));
+                }
+            })
+            .join()
+            .unwrap();
+            assert_eq!(map.adapt_state().unwrap().mode, "single");
+            s.spawn(|| {
+                let mut r = map.register(ThreadCtx::plain(1));
+                assert_ne!(r.socket(), 0, "thread 1 pins to the second socket");
+                for i in 0..48u64 {
+                    assert_eq!(r.get(&i), Some(i * 3), "key {i}");
+                }
+                // The read burst upshifts; re-read through the rebuilt
+                // local replica.
+                assert_eq!(map.adapt_state().unwrap().mode, "replicated");
+                for i in 0..48u64 {
+                    assert!(r.contains(&i), "key {i} after upshift");
+                }
+            })
+            .join()
+            .unwrap();
+        });
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The differential wall around the adaptation subsystem
+//! (`skipgraph::adapt` driving `skipgraph::replicate`).
+//!
+//! With a tiny sensor window and zero dwell, the write-ratio gate
+//! downshifts the replicated map to its single-structure mode and
+//! upshifts it back *many times per sequence*. The dangerous moments are
+//! exactly those transitions: the drain-then-redirect downshift must not
+//! let a read through replica 0 miss a write that completed on another
+//! socket, and the rebuild-replicas upshift must not resurrect removed
+//! keys or drop live ones while merging snapshots. These tests drive two
+//! handles pinned to different sockets against a `BTreeMap` model —
+//! sequentially interleaved, so every outcome is exact — **with
+//! reclamation on** and mid-run grace-period flushes so replayed nodes
+//! are retired and recycled across generation bumps.
+#![cfg(not(feature = "bug-injection"))]
+
+//!
+//! Values are checked as *sets*, not exactly, for the same reason as in
+//! `replicate_model.rs`: the lazy protocol's in-place resurrection means
+//! the observable value after remove+reinsert depends on which
+//! incarnation a replica kept. Membership is exact; every observed value
+//! must be one some successful insert of that key supplied.
+
+use instrument::ThreadCtx;
+use proptest::prelude::*;
+use skipgraph::{AdaptConfig, GraphConfig, ReplicaConfig, ReplicatedLayeredMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An 8-op sensor window with zero dwell: the gate re-decides every
+/// eight operations, so a 300-op sequence crosses dozens of decision
+/// points and (with the generator's mixed op distribution) lands on both
+/// sides of the 40/60 write band repeatedly.
+fn tiny_adapt() -> AdaptConfig {
+    AdaptConfig::new().window_ops(8).dwell_windows(0)
+}
+
+fn adaptive_reclaiming() -> ReplicatedLayeredMap<u64, u64> {
+    // Three thread slots: two handles on two sockets plus a flusher ctx.
+    // Same tiny log as the replicate_model wall so wraparound and
+    // backpressure stay hot *underneath* the mode transitions.
+    ReplicatedLayeredMap::new(
+        GraphConfig::new(3)
+            .lazy(true)
+            .hash_index(true)
+            .reclaim(true)
+            .chunk_capacity(256)
+            .adapt(tiny_adapt()),
+        ReplicaConfig::uniform(2, 2)
+            .logs(2)
+            .log_capacity(16)
+            .max_lag(12)
+            .adapt(tiny_adapt()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential churn across sockets while the replication gate
+    /// flips: every op routes through whatever mode the controller has
+    /// the map in at that moment — replicated appends, the transitional
+    /// drain, or direct single-structure access — and each must agree
+    /// with the sequential model exactly.
+    #[test]
+    fn adaptive_map_behaves_like_btreemap_under_mode_switches(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..32, 0u64..1000, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let map = adaptive_reclaiming();
+        let mut h0 = map.register(ThreadCtx::plain(0));
+        let mut h1 = map.register(ThreadCtx::plain(1));
+        prop_assert!(h0.socket() != h1.socket(), "handles share a socket");
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        let mut legal: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let flush_ctx = ThreadCtx::plain(2);
+        for (op, k, v, second) in ops {
+            let h = if second { &mut h1 } else { &mut h0 };
+            match op {
+                0 | 1 => {
+                    let expect = !model.contains(&k);
+                    prop_assert_eq!(h.insert(k, v), expect, "insert {}", k);
+                    if expect {
+                        model.insert(k);
+                        legal.entry(k).or_default().insert(v);
+                    }
+                }
+                2 | 3 => prop_assert_eq!(h.remove(&k), model.remove(&k), "remove {}", k),
+                4 | 5 => {
+                    let got = h.get(&k);
+                    prop_assert_eq!(got.is_some(), model.contains(&k), "get {}", k);
+                    if let Some(v) = got {
+                        prop_assert!(
+                            legal.get(&k).is_some_and(|s| s.contains(&v)),
+                            "get {} served value {} no insert supplied", k, v
+                        );
+                    }
+                }
+                6 => prop_assert_eq!(h.contains(&k), model.contains(&k), "contains {}", k),
+                _ => {
+                    for replica in map.replicas() {
+                        replica.shared().reclaim_flush(&flush_ctx);
+                    }
+                }
+            }
+        }
+        // Final sweep through both sockets. If the run ends in single
+        // mode both handles read the same structure; if replicated, each
+        // replica's catch-up must still agree with the model.
+        for k in 0..32u64 {
+            prop_assert_eq!(
+                h0.contains(&k), model.contains(&k), "final contains {} via socket 0", k
+            );
+            prop_assert_eq!(
+                h1.contains(&k), model.contains(&k), "final contains {} via socket 1", k
+            );
+        }
+        let snap = map.adapt_state().expect("adaptation was configured");
+        prop_assert!(snap.windows > 0, "no sensor window ever closed over {} ops", 300);
+    }
+}
+
+/// Directed phase test: a write-only burst must engage the gate
+/// (downshift to single), a read-only burst must disengage it (upshift
+/// back to replicated), and the data must survive both transitions
+/// bit-exactly. This pins the controller's direction — if the band were
+/// inverted, the phases would drive the counters the wrong way.
+#[test]
+fn phased_workload_downshifts_then_upshifts_and_keeps_the_data() {
+    let map = adaptive_reclaiming();
+    let mut h0 = map.register(ThreadCtx::plain(0));
+    let mut h1 = map.register(ThreadCtx::plain(1));
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    let mut legal: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+
+    // Phase 1 — write-heavy churn: 100% updates holds every window far
+    // above the 60% engage edge, so the gate must downshift.
+    let mut x = 0xA5F1_52C7u64 | 1;
+    for round in 0..96u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 24;
+        let h = if x & 8 == 0 { &mut h0 } else { &mut h1 };
+        if x & 4 == 0 {
+            if h.insert(k, round) {
+                model.insert(k);
+                legal.entry(k).or_default().insert(round);
+            }
+        } else if h.remove(&k) {
+            assert!(model.remove(&k), "remove({k}) succeeded but model disagrees");
+        }
+    }
+    let snap = map.adapt_state().expect("adaptation was configured");
+    assert!(
+        snap.downshifts >= 1,
+        "96 pure updates over 8-op windows never downshifted: {snap:?}"
+    );
+
+    // Phase 2 — read-only sweeps: 0% writes holds every window below the
+    // 40% disengage edge, so the gate must upshift back. Every read in
+    // the meantime (served direct in single mode, then replica-local
+    // again) must match the model.
+    for _ in 0..4 {
+        for k in 0..24u64 {
+            assert_eq!(h0.contains(&k), model.contains(&k), "contains({k}) via socket 0");
+            let got = h1.get(&k);
+            assert_eq!(got.is_some(), model.contains(&k), "get({k}) via socket 1");
+            if let Some(v) = got {
+                assert!(
+                    legal.get(&k).is_some_and(|s| s.contains(&v)),
+                    "get({k}) served {v}, which no insert supplied"
+                );
+            }
+        }
+    }
+    let snap = map.adapt_state().expect("adaptation was configured");
+    assert!(
+        snap.upshifts >= 1,
+        "192 pure reads over 8-op windows never upshifted: {snap:?}"
+    );
+    assert_eq!(snap.mode, "replicated", "read-heavy steady state should be replicated");
+
+    // The rebuilt replicas must hold exactly the model's keys on both
+    // sockets (the upshift's merge-diff ran against live snapshots).
+    for k in 0..24u64 {
+        assert_eq!(h0.contains(&k), model.contains(&k), "post-upshift contains({k}) s0");
+        assert_eq!(h1.contains(&k), model.contains(&k), "post-upshift contains({k}) s1");
+    }
+}

@@ -1,0 +1,188 @@
+//! Windowed event counters for the adaptive control plane.
+//!
+//! A [`CounterWindow`] packs a flagged-event count and a total count into
+//! one relaxed `AtomicU64`, so recording costs a single `fetch_add` on
+//! the hot path. The operation that fills the window closes it (exactly
+//! one closer per window: only one `fetch_add` can observe the
+//! penultimate total) and receives the window's [`WindowSample`]; every
+//! other recorder pays nothing but the add. Relaxed ordering is
+//! deliberate — the sample is a statistic feeding a hysteresis
+//! controller, never a synchronization edge, and a plain `std` atomic
+//! adds no yield point under the deterministic scheduler.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// One closed sensor window: how many events landed in it and what
+/// fraction carried the flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Events recorded in the window (at least the configured length;
+    /// racing recorders between fill and reset fold into the closing
+    /// window rather than being lost).
+    pub total: u32,
+    /// Flagged events among `total`.
+    pub flagged: u32,
+}
+
+impl WindowSample {
+    /// Flagged share of the window, as an integer percentage (rounded
+    /// down; `0` for an empty window).
+    pub fn flagged_pct(&self) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.flagged as u64 * 100 / self.total as u64) as u32
+    }
+}
+
+/// A lock-free two-field windowed counter: `flagged << 32 | total` in a
+/// single word.
+#[derive(Debug, Default)]
+pub struct CounterWindow {
+    word: AtomicU64,
+}
+
+impl CounterWindow {
+    pub const fn new() -> Self {
+        Self { word: AtomicU64::new(0) }
+    }
+
+    /// Records one event; the recorder that fills the window to
+    /// `window_ops` closes it and gets the sample. A `window_ops` of
+    /// `u32::MAX` in practice never closes — the pinned static lanes.
+    pub fn record(&self, flagged: bool, window_ops: u32) -> Option<WindowSample> {
+        let prev = self.word.fetch_add(1 | (flagged as u64) << 32, Relaxed);
+        if (prev & 0xffff_ffff) as u32 != window_ops.wrapping_sub(1) {
+            return None;
+        }
+        // This recorder saw the penultimate total, so it alone resets the
+        // window. Recorders racing between the fill and this swap are
+        // absorbed into the swapped totals.
+        let closed = self.word.swap(0, Relaxed);
+        Some(WindowSample {
+            total: (closed & 0xffff_ffff) as u32,
+            flagged: (closed >> 32) as u32,
+        })
+    }
+
+    /// The running totals of the currently open window (telemetry only;
+    /// races with recorders).
+    pub fn open_window(&self) -> WindowSample {
+        let w = self.word.load(Relaxed);
+        WindowSample {
+            total: (w & 0xffff_ffff) as u32,
+            flagged: (w >> 32) as u32,
+        }
+    }
+}
+
+/// A windowed *magnitude* accumulator: `sum << 24 | count`, closing on
+/// `window_ops` samples with the window's mean. Used for probe-length
+/// sensing in the hash index, where the interesting signal is "how long
+/// are probes lately", not a flag ratio. Sums saturating above
+/// `2^40 - 1` would wrap into the count field, so each sample is clamped
+/// to `2^16` — far above any probe length the index permits.
+#[derive(Debug, Default)]
+pub struct MeanWindow {
+    word: AtomicU64,
+}
+
+impl MeanWindow {
+    pub const fn new() -> Self {
+        Self { word: AtomicU64::new(0) }
+    }
+
+    /// Records one magnitude sample; the closer gets the window mean
+    /// (rounded down).
+    pub fn record(&self, value: u32, window_ops: u32) -> Option<u32> {
+        let v = value.min(1 << 16) as u64;
+        let prev = self.word.fetch_add(1 | v << 24, Relaxed);
+        if (prev & 0xff_ffff) as u32 != window_ops.wrapping_sub(1) {
+            return None;
+        }
+        let closed = self.word.swap(0, Relaxed);
+        let count = closed & 0xff_ffff;
+        Some(((closed >> 24) / count.max(1)) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closes_every_window_with_exact_ratio() {
+        let w = CounterWindow::new();
+        for round in 0..3 {
+            for i in 0..7 {
+                let s = w.record(i % 2 == 0, 8);
+                assert_eq!(s, None, "round {round} op {i} must not close");
+            }
+            let s = w.record(false, 8).expect("eighth op closes");
+            assert_eq!(s.total, 8);
+            assert_eq!(s.flagged, 4);
+            assert_eq!(s.flagged_pct(), 50);
+        }
+    }
+
+    #[test]
+    fn pct_rounds_down() {
+        let w = CounterWindow::new();
+        w.record(true, 3);
+        w.record(false, 3);
+        let s = w.record(false, 3).unwrap();
+        assert_eq!(s.flagged_pct(), 33);
+    }
+
+    #[test]
+    fn max_window_never_closes() {
+        let w = CounterWindow::new();
+        for _ in 0..4096 {
+            assert_eq!(w.record(true, u32::MAX), None);
+        }
+        assert_eq!(w.open_window().total, 4096);
+    }
+
+    #[test]
+    fn concurrent_records_lose_nothing() {
+        let w = CounterWindow::new();
+        let closed: Vec<WindowSample> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t: u64| {
+                    let w = &w;
+                    s.spawn(move || {
+                        let mut samples = Vec::new();
+                        for i in 0..1000 {
+                            if let Some(sample) = w.record((t + i) % 2 == 0, 64) {
+                                samples.push(sample);
+                            }
+                        }
+                        samples
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let leftover = w.open_window();
+        let total: u64 =
+            closed.iter().map(|s| s.total as u64).sum::<u64>() + leftover.total as u64;
+        let flagged: u64 =
+            closed.iter().map(|s| s.flagged as u64).sum::<u64>() + leftover.flagged as u64;
+        assert_eq!(total, 4000, "every record lands in exactly one window");
+        assert_eq!(flagged, 2000);
+        for s in &closed {
+            assert!(s.total >= 64, "windows close at or above the configured length");
+        }
+    }
+
+    #[test]
+    fn mean_window_reports_the_mean() {
+        let w = MeanWindow::new();
+        assert_eq!(w.record(2, 4), None);
+        assert_eq!(w.record(4, 4), None);
+        assert_eq!(w.record(6, 4), None);
+        assert_eq!(w.record(8, 4), Some(5));
+        // Next window is independent.
+        assert_eq!(w.record(1, 4), None);
+    }
+}

@@ -14,6 +14,7 @@
 //! | `anchor_blocked_sg` | blocked map under the anchor-granular policy (compacting merges, left-biased splits) |
 //! | `hashed_sg` | layered map with the shared lock-free hash index (Skip Hash fast path) |
 //! | `replicated_sg` | per-socket replicas of the lazy hash-indexed map over partitioned operation logs |
+//! | `adaptive_sg` | the replicated map with the adaptation subsystem engaged (small sensor windows) |
 //! | `skiplist` | lock-free skip list with the relink optimization |
 //! | `skiplist_norelink` | the same without relink (ablation) |
 //! | `locked_skiplist` | optimistic lazy lock-based skip list |
@@ -30,8 +31,8 @@ use baselines::{
 };
 use numa::{Placement, Topology};
 use skipgraph::{
-    BatchConfig, BatchedLayeredMap, BlockPolicy, BlockedSkipMap, GraphConfig, LayeredMap, ReplicaConfig,
-    ReplicatedLayeredMap, SkipGraph,
+    AdaptConfig, BatchConfig, BatchedLayeredMap, BlockPolicy, BlockedSkipMap, GraphConfig,
+    LayeredMap, ReplicaConfig, ReplicatedLayeredMap, SkipGraph,
 };
 use std::time::Duration;
 
@@ -49,6 +50,7 @@ pub const STRUCTURES: &[&str] = &[
     "anchor_blocked_sg",
     "hashed_sg",
     "replicated_sg",
+    "adaptive_sg",
     "skiplist",
     "skiplist_norelink",
     "locked_skiplist",
@@ -195,6 +197,35 @@ pub fn run_named(name: &str, workload: &Workload, instr: &InstrMode) -> TrialRes
                         .lazy(true)
                         .hash_index(true)
                         .chunk_capacity(cap),
+                    replicas,
+                ),
+                workload,
+                instr,
+            )
+        }
+        // The replicated map with the adaptation subsystem engaged: tiny
+        // sensor windows and no dwell so the replication gate, index
+        // growth signal, and ascending-split gate all switch within a
+        // short trial rather than after thousands of operations.
+        "adaptive_sg" => {
+            let topology = Topology::detect_or_paper();
+            let placement = Placement::new(&topology, t);
+            let mut replicas = ReplicaConfig::from_placement(&placement);
+            if replicas.sockets() < 2 {
+                replicas = ReplicaConfig::uniform(t, 2);
+            }
+            let replicas = replicas
+                .logs(2)
+                .log_capacity(64)
+                .max_lag(48)
+                .adapt(AdaptConfig::new().window_ops(64).dwell_windows(1));
+            run_trial(
+                &ReplicatedLayeredMap::<u64, u64>::new(
+                    GraphConfig::new(t)
+                        .lazy(true)
+                        .hash_index(true)
+                        .chunk_capacity(cap)
+                        .adapt(AdaptConfig::new().window_ops(64).dwell_windows(1)),
                     replicas,
                 ),
                 workload,

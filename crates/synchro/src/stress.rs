@@ -49,6 +49,7 @@ pub const DET_STRUCTURES: &[&str] = &[
     "anchor_blocked_sg",
     "hashed_sg",
     "replicated_sg",
+    "adaptive_sg",
     "skiplist",
     "skiplist_norelink",
     "harris_ll",
@@ -494,6 +495,43 @@ macro_rules! with_structure {
                         .logs(2)
                         .log_capacity(16)
                         .max_lag(12),
+                );
+                $body
+            }
+            "adaptive_sg" => {
+                // The replicated map with the adaptation subsystem live: a
+                // tiny sensor window and zero dwell so the replication gate
+                // downshifts/upshifts *within* a stress schedule, putting
+                // the drain-then-redirect transitions directly under the
+                // deterministic scheduler and the linearizability checker.
+                // The bug-injection build severs the downshift drain (the
+                // only live fault in this lane — replicated_sg keeps the
+                // read-side tail-wait fault).
+                let sockets = if t >= 2 { 2 } else { 1 };
+                // The band straddles the stress mixes' ~70% write ratio:
+                // 8-op windows fluctuate across both edges, so the gate
+                // oscillates and schedules see *repeated* downshifts with
+                // cross-socket writes in flight, not one quiet downshift
+                // during the preload.
+                let acfg = skipgraph::AdaptConfig::new()
+                    .window_ops(8)
+                    .dwell_windows(0)
+                    .write_band(60, 75);
+                #[cfg(feature = "bug-injection")]
+                let gcfg = GraphConfig::new(t).chunk_capacity(cap);
+                #[cfg(not(feature = "bug-injection"))]
+                let gcfg = GraphConfig::new(t)
+                    .lazy(true)
+                    .hash_index(true)
+                    .chunk_capacity(cap)
+                    .adapt(acfg);
+                let $map = skipgraph::ReplicatedLayeredMap::<u64, u64>::new(
+                    gcfg,
+                    skipgraph::ReplicaConfig::uniform(t, sockets)
+                        .logs(2)
+                        .log_capacity(16)
+                        .max_lag(12)
+                        .adapt(acfg),
                 );
                 $body
             }

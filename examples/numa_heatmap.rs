@@ -73,13 +73,17 @@ fn main() {
 
     // Hash-index occupancy heatmap: load an indexed map and show how the
     // keys landed across the per-NUMA-segment tables — the tuning signal
-    // for `GraphConfig::index_capacity` (entries crowding 3/4 of a
-    // segment's capacity mean an imminent grow; mass in the histogram's
-    // upper buckets means long probe chains despite free space).
+    // for `GraphConfig::index_capacity` (entries crowding the occupancy
+    // threshold — `AdaptConfig::occ_grow_pct`, default 75% — mean an
+    // imminent grow; mass in the histogram's upper buckets means long
+    // probe chains despite free space, the displacement signal the
+    // adaptive probe sensor grows on). Adaptation is configured here so
+    // the probe-signal grow counter below is live.
     let map: skipgraph::LayeredMap<u64, u64> = skipgraph::LayeredMap::new(
         skipgraph::GraphConfig::new(THREADS)
             .lazy(true)
-            .hash_index(true),
+            .hash_index(true)
+            .adapt(skipgraph::AdaptConfig::new()),
     );
     {
         let mut h = map.register(instrument::ThreadCtx::plain(0));
@@ -108,4 +112,69 @@ fn main() {
             hist
         );
     }
+    println!(
+        "probe-signal grows: {} (occupancy-threshold grows are not counted)",
+        map.shared().index_probe_grows()
+    );
+
+    // Adaptation state: drive the adaptive replicated map through a
+    // write burst and a read sweep, printing the controller's view after
+    // each — the mode the replication knob is in, how often it switched,
+    // and what the sensor's last window saw. The tiny window makes the
+    // demo switch in a few hundred ops; production defaults are larger.
+    println!("\n== adaptation state (replication knob) ==");
+    let tiny = skipgraph::AdaptConfig::new().window_ops(256).dwell_windows(0);
+    let amap: skipgraph::ReplicatedLayeredMap<u64, u64> =
+        skipgraph::ReplicatedLayeredMap::new(
+            skipgraph::GraphConfig::new(2)
+                .lazy(true)
+                .hash_index(true)
+                .adapt(tiny),
+            skipgraph::ReplicaConfig::uniform(2, 2).adapt(tiny),
+        );
+    let print_snap = |label: &str| {
+        let s = amap.adapt_state().expect("adaptation is configured");
+        println!(
+            "  after {label}: mode {} (gen {}), {} downshifts / {} upshifts over {} windows, \
+             last window {}% writes ({} ops in the open one)",
+            s.mode, s.generation, s.downshifts, s.upshifts, s.windows, s.last_write_pct,
+            s.open_window_ops
+        );
+    };
+    {
+        let mut h = amap.register(instrument::ThreadCtx::plain(0));
+        for k in 0..2_000u64 {
+            h.insert(k, k);
+        }
+        print_snap("2000 inserts (write-heavy)");
+        for k in 0..2_000u64 {
+            h.contains(&k);
+        }
+        print_snap("2000 reads  (read-heavy)");
+    }
+
+    // The block layer's ascending-run gate: a sorted insert stream
+    // engages leave-behind splits (split point pushed right, so the
+    // left block stays full instead of half-empty).
+    println!("\n== adaptation state (ascending-split knob) ==");
+    let bmap: skipgraph::BlockedSkipMap<u64, u64> = skipgraph::BlockedSkipMap::new(
+        skipgraph::GraphConfig::new(1).adapt(skipgraph::AdaptConfig::new().window_ops(64)),
+        8,
+    );
+    {
+        let mut h = bmap.register(instrument::ThreadCtx::plain(0));
+        for k in 0..2_000u64 {
+            h.insert(k, k);
+        }
+    }
+    let asc = bmap.asc_state().expect("adaptation is configured");
+    let anchors = bmap.stats(&instrument::ThreadCtx::plain(0)).anchors;
+    println!(
+        "  after 2000 ascending inserts: gate {} ({} switches, last window {}% ascending), \
+         {} anchors at block cap 8",
+        if asc.engaged { "engaged" } else { "disengaged" },
+        asc.switches,
+        asc.last_asc_pct,
+        anchors
+    );
 }

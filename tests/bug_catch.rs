@@ -212,6 +212,80 @@ fn injected_stale_replica_read_is_caught_and_shrunk() {
 }
 
 #[test]
+fn injected_severed_downshift_drain_is_caught_and_shrunk() {
+    // The adaptation subsystem's injected fault: the replication gate's
+    // downshift publishes the single-structure epoch *without* draining
+    // the operation logs first. Writes that completed through logs homed
+    // on other sockets are still waiting in those logs when reads start
+    // going directly to replica 0 — so a read can miss an update (or the
+    // preload) whose writer already returned success. The `adaptive_sg`
+    // lane's tiny 8-op window, zero dwell, and a write band straddling
+    // the 70% mix make the gate oscillate mid-run, and PCT schedules land
+    // reads in the gap between a premature epoch flip and the log replay
+    // that would have covered it. The gap closes the moment any single-
+    // mode write drains the stranded log, so probe a handful of seeds
+    // rather than pinning one alignment. (replicated_sg keeps the severed
+    // read-side tail-wait; each lane carries exactly one live fault.)
+    let cfg = StressConfig {
+        threads: 3,
+        key_space: 8,
+        ops_per_thread: 30,
+        update_pct: 70,
+        preload: true,
+        seed: 5,
+    };
+    let mut caught = None;
+    for det_seed in 1u64..=10 {
+        let det = DetConfig::new(
+            det_seed,
+            Policy::Pct {
+                change_points: 10,
+                expected_steps: 60_000,
+            },
+        );
+        if let Err(report) = stress_named_det("adaptive_sg", &cfg, &det) {
+            caught = Some(report);
+            break;
+        }
+    }
+    let report = caught.expect("severed downshift drain went undetected on every schedule");
+
+    let (shrunk_det, _trace) = report.schedule.clone().expect("det report without schedule");
+    assert!(matches!(shrunk_det.policy, Policy::Replay { .. }));
+    assert!(!report.failure.history.is_empty());
+    // The skipped drain only corrupts what reads observe (writes still
+    // compute their results in log order before the flip), so the
+    // violating history must contain the stale read itself.
+    assert!(
+        report.failure.history.iter().any(|r| r.op == Op::Contains),
+        "shrunk history has no contains: {report}"
+    );
+
+    // Shrinking must make progress, but this fault resists deep shrinks
+    // by construction: the sensor windows are op-count-based, so dropping
+    // operations shifts every later window boundary and moves the very
+    // downshift under test — most candidate reductions dissolve the
+    // violation rather than isolate it.
+    let total: usize = report.plans.iter().map(Vec::len).sum();
+    let original = cfg.threads as usize * cfg.ops_per_thread;
+    assert!(
+        total < original,
+        "shrinker left {total} of {original} ops: {report}"
+    );
+
+    let (records, _) =
+        records_named_det("adaptive_sg", &report.config, &report.plans, &shrunk_det);
+    assert!(
+        synchro::stress::check_records(&records, &report.config).is_err(),
+        "shrunk report does not reproduce the violation:\n{report}"
+    );
+
+    let text = format!("{report}");
+    assert!(text.contains("adaptive_sg"));
+    assert!(text.contains("replay:"));
+}
+
+#[test]
 fn injected_blocked_lost_insert_is_caught_and_shrunk() {
     // The blocked map's injected fault: an insert that observes its block
     // frozen at publish time reports success without ever setting the
@@ -231,7 +305,7 @@ fn injected_blocked_lost_insert_is_caught_and_shrunk() {
         seed: 7,
     };
     let mut caught = None;
-    'probe: for quantum in [2u32, 3, 5] {
+    'probe: for quantum in [2u32, 3, 5, 7] {
         for det_seed in 1u64..=8 {
             let det = DetConfig::new(det_seed, Policy::RoundRobin { quantum });
             if let Err(report) = stress_named_det("blocked_sg", &cfg, &det) {
